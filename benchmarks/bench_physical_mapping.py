@@ -1,0 +1,55 @@
+"""E5 — the Section 1.1 physical-mapping workload.
+
+Clone libraries of increasing size are generated (error-free and with the
+paper's error taxonomy) and assembled; the benchmark records assembly time
+and, for the noisy libraries, how many clones the greedy repair keeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks import reporting
+
+from repro.apps import assemble_physical_map, generate_clone_library, inject_errors
+
+CASES = [(40, 60), (80, 120), (120, 180)]
+
+_rows: list[dict] = []
+
+
+@pytest.mark.parametrize("num_sts,num_clones", CASES)
+def test_error_free_assembly(benchmark, num_sts, num_clones):
+    rng = random.Random(num_sts)
+    library = generate_clone_library(num_sts, num_clones, rng, mean_clone_length=7)
+    result = benchmark(assemble_physical_map, library)
+    assert result.consistent
+    _rows.append({"sts": num_sts, "clones": num_clones, "errors": False, "discarded": 0})
+
+
+@pytest.mark.parametrize("num_sts,num_clones", CASES[:2])
+def test_noisy_assembly_with_greedy_repair(benchmark, num_sts, num_clones):
+    rng = random.Random(1000 + num_sts)
+    library = generate_clone_library(num_sts, num_clones, rng, mean_clone_length=7)
+    noisy = inject_errors(library, rng, false_positive_rate=0.002, chimerism_rate=0.05)
+    result = benchmark(assemble_physical_map, noisy)
+    assert result.sts_order is not None
+    _rows.append(
+        {
+            "sts": num_sts,
+            "clones": num_clones,
+            "errors": True,
+            "discarded": result.num_discarded,
+        }
+    )
+
+
+def teardown_module(module):  # pragma: no cover - reporting only
+    if not _rows:
+        return
+    lines = [f"{'STS':>6} {'clones':>7} {'errors':>7} {'clones discarded':>17}"]
+    for row in _rows:
+        lines.append(f"{row['sts']:>6} {row['clones']:>7} {str(row['errors']):>7} {row['discarded']:>17}")
+    reporting.register("E5  physical-mapping assembly", lines)

@@ -1,0 +1,49 @@
+"""E2 — PRAM depth of the level-synchronous schedule vs ``log^2 n`` (Theorem 9).
+
+For each instance size the simulated parallel execution is run and the
+measured depth is compared with the paper's ``O(log^2 n)`` bound: the ratio
+``depth / log^2 n`` should stay (roughly) flat across the size sweep, which
+is the shape Theorem 9 predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pram import parallel_path_realization
+
+from benchmarks import reporting
+
+SIZES = (16, 32, 64, 128, 256)
+
+_rows: dict[int, dict] = {}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_pram_schedule_depth(benchmark, planted_instances, n):
+    ensemble = planted_instances[n]
+    report = benchmark(parallel_path_realization, ensemble)
+    assert report.order is not None
+    s = report.summary()
+    _rows[n] = s
+
+
+def teardown_module(module):  # pragma: no cover - reporting only
+    if not _rows:
+        return
+    lines = [f"{'n':>6} {'levels':>7} {'depth':>7} {'log^2 n':>9} {'depth/log^2 n':>14}"]
+    for n in sorted(_rows):
+        s = _rows[n]
+        ratio = s["depth"] / s["theorem9_depth_bound"]
+        lines.append(f"{n:>6} {s['levels']:>7} {s['depth']:>7} "
+                     f"{s['theorem9_depth_bound']:>9.1f} {ratio:>14.2f}")
+    reporting.register("E2  PRAM depth vs Theorem 9's log^2 n bound", lines)
+
+
+def test_depth_ratio_is_flat(planted_instances):
+    """The depth / log^2 n ratio may not blow up across a 16x size increase."""
+    small = parallel_path_realization(planted_instances[16])
+    large = parallel_path_realization(planted_instances[256])
+    ratio_small = small.depth / small.theorem9_depth_bound()
+    ratio_large = large.depth / large.theorem9_depth_bound()
+    assert ratio_large <= 6 * max(1.0, ratio_small)

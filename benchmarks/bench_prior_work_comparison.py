@@ -1,0 +1,53 @@
+"""E4 — the Section 1.3 comparison against prior parallel algorithms.
+
+The paper's claim: its algorithm is more work-efficient than all previous
+parallel solutions — Klein [13] (``O(log^2 n)`` time, linearly many
+processors) and Chen–Yesha [7] (``O(log m + log^2 n)`` time,
+``O(n^2 m + n^3)`` processors).  The analytical comparison table is
+regenerated for matched instance sizes and the ordering is asserted; the
+timed portion measures the cost-model evaluation plus the simulated schedule
+at the reference size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import reporting
+
+from repro.pram import parallel_path_realization, prior_work_comparison
+
+CASES = [(64, 48), (128, 96), (256, 192), (512, 384), (1024, 768)]
+
+_rows: list[tuple[int, int, list]] = []
+
+
+@pytest.mark.parametrize("n,m", CASES)
+def test_prior_work_table(benchmark, n, m):
+    p = n * m // 8
+    rows = benchmark(prior_work_comparison, n, m, p)
+    by_name = {r.algorithm: r for r in rows}
+    ours = by_name["Annexstein-Swaminathan (this paper)"]
+    klein = by_name["Klein [13]"]
+    chen = by_name["Chen-Yesha [7]"]
+    assert ours.processors < klein.processors < chen.processors
+    assert ours.work < klein.work < chen.work
+    _rows.append((n, m, rows))
+
+
+def test_schedule_at_reference_size(benchmark, planted_instances):
+    report = benchmark(parallel_path_realization, planted_instances[128])
+    assert report.order is not None
+    assert report.implied_processors() < prior_work_comparison(128, 96, report.p)[1].processors
+
+
+def teardown_module(module):  # pragma: no cover - reporting only
+    if not _rows:
+        return
+    lines = []
+    for n, m, rows in _rows:
+        lines.append(f"-- n={n}, m={m}, p={n * m // 8}")
+        lines.append(f"   {'algorithm':<38} {'depth':>9} {'processors':>13} {'work':>15}")
+        for r in rows:
+            lines.append(f"   {r.algorithm:<38} {r.depth:>9.1f} {r.processors:>13.1f} {r.work:>15.1f}")
+    reporting.register("E4  prior-work comparison (constants set to 1)", lines)

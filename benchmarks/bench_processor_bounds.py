@@ -1,0 +1,78 @@
+"""E3 — processor usage vs Theorem 9's ``p·loglog n / log n`` bound.
+
+The implied processor count (work / depth) of the simulated schedule is
+compared against Theorem 9's bound, and the density-factor refinement
+(``p / log n`` processors when ``f = nm/p <= log n/loglog n``) is tabulated
+over a density sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks import reporting
+
+from repro.generators import random_c1p_ensemble
+from repro.pram import parallel_path_realization
+from repro.pram.costmodel import (
+    density_factor,
+    log2,
+    loglog,
+    paper_processor_bound,
+    paper_processor_bound_dense,
+)
+
+_rows: list[dict] = []
+
+
+@pytest.mark.parametrize("n", (32, 64, 128, 256))
+def test_processor_bound_ratio(benchmark, planted_instances, n):
+    report = benchmark(parallel_path_realization, planted_instances[n])
+    assert report.order is not None
+    _rows.append(
+        {
+            "n": n,
+            "p": report.p,
+            "implied": report.implied_processors(),
+            "bound": report.theorem9_processor_bound(),
+        }
+    )
+
+
+@pytest.mark.parametrize("density_cols", (1, 2, 4, 8))
+def test_density_factor_sweep(benchmark, density_cols):
+    """Denser instances (smaller f) qualify for the improved p/log n bound."""
+    n = 96
+    rng = random.Random(40 + density_cols)
+    inst = random_c1p_ensemble(n, density_cols * n // 2, rng, min_len=4, max_len=24)
+    report = benchmark(parallel_path_realization, inst.ensemble)
+    assert report.order is not None
+    ens = inst.ensemble
+    f = density_factor(ens.num_atoms, ens.num_columns, ens.total_size)
+    dense_enough = f <= log2(n) / loglog(n)
+    _rows.append(
+        {
+            "n": n,
+            "p": ens.total_size,
+            "implied": report.implied_processors(),
+            "bound": paper_processor_bound(n, ens.total_size),
+            "dense_bound": paper_processor_bound_dense(n, ens.num_columns, ens.total_size),
+            "f": f,
+            "dense": dense_enough,
+        }
+    )
+
+
+def teardown_module(module):  # pragma: no cover - reporting only
+    if not _rows:
+        return
+    lines = [f"{'n':>5} {'p':>7} {'work/depth':>11} {'p loglog/log':>13} {'p/log n':>9} {'f':>7} {'dense?':>7}"]
+    for row in _rows:
+        lines.append(
+            f"{row['n']:>5} {row['p']:>7} {row['implied']:>11.1f} {row['bound']:>13.1f} "
+            f"{row.get('dense_bound', float('nan')):>9.1f} {row.get('f', float('nan')):>7.2f} "
+            f"{str(row.get('dense', '')):>7}"
+        )
+    reporting.register("E3  implied processors vs Theorem 9 bounds", lines)

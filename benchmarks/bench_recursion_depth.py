@@ -1,0 +1,58 @@
+"""E7 — recursion depth and partition balance (Section 3.2 / Section 5).
+
+The paper's divide step guarantees each side of the partition holds at least
+one third of the atoms, giving an ``O(log n)`` recursion depth; this
+benchmark measures the depth and the balance ratios across the size sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks import reporting
+
+from repro.core import SolverStats, path_realization
+
+SIZES = (16, 32, 64, 128, 256)
+
+_rows: dict[int, dict] = {}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_recursion_depth(benchmark, planted_instances, n):
+    ensemble = planted_instances[n]
+
+    def run():
+        stats = SolverStats()
+        order = path_realization(ensemble, stats)
+        return order, stats
+
+    order, stats = benchmark(run)
+    assert order is not None
+    ratios = stats.balance_ratios()
+    _rows[n] = {
+        "depth": stats.max_depth,
+        "log_n": math.log2(n),
+        "subproblems": stats.subproblems,
+        "min_ratio": min(ratios) if ratios else 1.0,
+        "max_ratio": max(ratios) if ratios else 1.0,
+        "cases": stats.case_counts,
+    }
+    # the balance property of Section 3.2 (with the +1 split-marker slack)
+    assert all(1 / 4 <= r <= 3 / 4 + 0.1 for r in ratios)
+    assert stats.max_depth <= 4 * math.log2(n) + 6
+
+
+def teardown_module(module):  # pragma: no cover - reporting only
+    if not _rows:
+        return
+    lines = [f"{'n':>6} {'depth':>6} {'log2 n':>7} {'depth/log2 n':>13} {'subproblems':>12} "
+             f"{'min |A1|/|A|':>13} {'max |A1|/|A|':>13}"]
+    for n in sorted(_rows):
+        row = _rows[n]
+        lines.append(f"{n:>6} {row['depth']:>6} {row['log_n']:>7.1f} "
+                     f"{row['depth'] / row['log_n']:>13.2f} {row['subproblems']:>12} "
+                     f"{row['min_ratio']:>13.2f} {row['max_ratio']:>13.2f}")
+    reporting.register("E7  recursion depth and partition balance", lines)

@@ -1,0 +1,50 @@
+"""E1 — sequential scaling of Path-Realization (Theorem 9, sequential part).
+
+The paper claims ``O(p log p)`` sequential time when the Tutte decomposition
+substrate is the linear-time Hopcroft–Tarjan algorithm; our substrate is the
+polynomial split-pair search (DESIGN.md, substitution 3), so the absolute
+exponent is larger, but the benchmark regenerates the size-vs-time series so
+the growth can be compared against both references.  The per-size rows that
+the paper's analysis would predict are printed once at the end of the run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import path_realization
+
+from benchmarks import reporting
+
+SIZES = (16, 32, 64, 128, 256)
+
+_results: dict[int, dict] = {}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sequential_path_realization(benchmark, planted_instances, n):
+    ensemble = planted_instances[n]
+    order = benchmark(path_realization, ensemble)
+    assert order is not None
+    p = ensemble.total_size
+    _results[n] = {
+        "n": n,
+        "p": p,
+        "seconds": benchmark.stats.stats.mean,
+        "p_log_p": p * math.log2(max(2, p)),
+    }
+
+
+def teardown_module(module):  # pragma: no cover - reporting only
+    if not _results:
+        return
+    lines = [f"{'n':>6} {'p':>8} {'mean seconds':>14} {'p log p':>12} {'sec / (p log p)':>16}"]
+    for n in sorted(_results):
+        row = _results[n]
+        lines.append(
+            f"{row['n']:>6} {row['p']:>8} {row['seconds']:>14.4f} "
+            f"{row['p_log_p']:>12.0f} {row['seconds'] / row['p_log_p']:>16.3e}"
+        )
+    reporting.register("E1  sequential scaling (divide-and-conquer solver)", lines)

@@ -1,0 +1,44 @@
+"""E6 — the divide-and-conquer solver against the Booth–Lueker baseline.
+
+The paper's selling point is not sequential speed (Booth–Lueker is linear
+time) but parallelizability while avoiding PQ-trees; this benchmark records
+the sequential cost of both implementations and of the exhaustive
+brute-force oracle on a tiny instance, so the expected ordering
+(brute force ≫ divide-and-conquer > PQ-tree) is visible in the report.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bruteforce import brute_force_path_order
+from repro.core import path_realization
+from repro.generators import random_c1p_ensemble
+from repro.pqtree import pqtree_consecutive_ones_order
+
+
+@pytest.mark.parametrize("n", (32, 64, 128))
+def test_divide_and_conquer(benchmark, planted_instances, n):
+    order = benchmark(path_realization, planted_instances[n])
+    assert order is not None
+
+
+@pytest.mark.parametrize("n", (32, 64, 128))
+def test_pqtree_baseline(benchmark, planted_instances, n):
+    order = benchmark(pqtree_consecutive_ones_order, planted_instances[n])
+    assert order is not None
+
+
+def test_brute_force_tiny(benchmark):
+    inst = random_c1p_ensemble(8, 10, random.Random(5))
+    order = benchmark(brute_force_path_order, inst.ensemble)
+    assert order is not None
+
+
+@pytest.mark.parametrize("n", (32, 64))
+def test_agreement_between_solver_and_baseline(planted_instances, n):
+    """Not a timing: both implementations accept the shared workloads."""
+    assert path_realization(planted_instances[n]) is not None
+    assert pqtree_consecutive_ones_order(planted_instances[n]) is not None

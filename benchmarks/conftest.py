@@ -1,0 +1,40 @@
+"""Shared workload fixtures for the benchmark harness.
+
+Every benchmark file regenerates one experiment from EXPERIMENTS.md.  The
+workloads are deterministic (fixed seeds) so re-runs are comparable, and the
+sizes are chosen so the whole suite finishes in a few minutes of pure Python.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.generators import random_c1p_ensemble
+
+from benchmarks import reporting
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every experiment table registered by the benchmark modules."""
+    tables = reporting.all_tables()
+    if not tables:
+        return
+    terminalreporter.write_sep("=", "experiment summaries (see EXPERIMENTS.md)")
+    for title, lines in tables:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(title)
+        for line in lines:
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def planted_instances():
+    """Planted C1P instances keyed by number of atoms (shared across benches)."""
+    sizes = (16, 32, 64, 128, 256)
+    out = {}
+    for n in sizes:
+        rng = random.Random(1000 + n)
+        out[n] = random_c1p_ensemble(n, max(4, (3 * n) // 4), rng).ensemble
+    return out

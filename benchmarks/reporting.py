@@ -1,0 +1,25 @@
+"""Collects the per-experiment summary tables produced by the benchmark files.
+
+pytest captures ``print`` output from module teardown, so the tables would be
+invisible in a plain ``pytest benchmarks/ --benchmark-only`` run.  Benchmark
+modules therefore *register* their formatted tables here and the conftest
+``pytest_terminal_summary`` hook prints every registered table at the end of
+the session, where it always reaches the terminal (and ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+_TABLES: list[tuple[str, list[str]]] = []
+
+
+def register(title: str, lines: list[str]) -> None:
+    """Register a formatted experiment table for the end-of-session report."""
+    _TABLES.append((title, list(lines)))
+
+
+def all_tables() -> list[tuple[str, list[str]]]:
+    return list(_TABLES)
+
+
+def clear() -> None:
+    _TABLES.clear()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Theorem 9 in action: the level-synchronous PRAM schedule of the solver.
+
+For a sweep of instance sizes, runs the simulated parallel execution and
+prints the measured depth and work next to the paper's bounds
+(``log^2 n`` time, ``p·loglog n/log n`` processors), plus the Section 1.3
+comparison against Klein and Chen–Yesha.
+
+Run with:  python examples/parallel_scaling.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.generators import random_c1p_ensemble
+from repro.pram import parallel_path_realization, prior_work_comparison
+
+
+def main() -> None:
+    rng = random.Random(11)
+    print(f"{'n':>5} {'p':>6} {'levels':>7} {'depth':>7} {'log^2 n':>8} "
+          f"{'work':>9} {'procs (W/D)':>12} {'Thm9 procs':>11}")
+    for n in (16, 32, 64, 128, 256):
+        inst = random_c1p_ensemble(n, max(4, (3 * n) // 4), rng)
+        report = parallel_path_realization(inst.ensemble)
+        s = report.summary()
+        print(f"{n:>5} {s['p']:>6} {s['levels']:>7} {s['depth']:>7} "
+              f"{s['theorem9_depth_bound']:>8.1f} {s['work']:>9} "
+              f"{s['implied_processors']:>12.1f} {s['theorem9_processor_bound']:>11.1f}")
+
+    print("\nSection 1.3 comparison at n=256, m=192 (constants set to 1):")
+    n, m = 256, 192
+    p = n * m // 8
+    print(f"{'algorithm':<40} {'depth':>10} {'processors':>14} {'work':>16}")
+    for row in prior_work_comparison(n, m, p):
+        print(f"{row.algorithm:<40} {row.depth:>10.1f} {row.processors:>14.1f} {row.work:>16.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that legacy installs (``python setup.py develop`` / environments without the
+``wheel`` package) keep working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — reproduction of Annexstein & Swaminathan,
+"On Testing Consecutive-Ones Property in Parallel" (SPAA 1995 / DAM 88, 1998).
+
+The package implements the paper's divide-and-conquer consecutive-ones (C1P)
+algorithm based on Tutte decomposition and Whitney switches, together with
+every substrate it relies on (graph connectivity, Tutte decomposition, a
+simulated CRCW PRAM with work/depth accounting), the Booth–Lueker PQ-tree
+baseline it is compared against, and the applications that motivate it
+(physical mapping of genomes, interval graph recognition, gate-matrix layout,
+consecutive-retrieval file organization).
+
+Quick start
+-----------
+>>> from repro import BinaryMatrix, find_consecutive_ones_order
+>>> m = BinaryMatrix([[1, 1, 0], [0, 1, 1], [1, 0, 0]])
+>>> order = find_consecutive_ones_order(m.row_ensemble())
+>>> order is not None
+True
+"""
+
+from .ensemble import (
+    Ensemble,
+    is_circular_consecutive,
+    is_consecutive,
+    verify_circular_layout,
+    verify_linear_layout,
+)
+from .matrix import BinaryMatrix
+from .core import (
+    SolverStats,
+    cycle_realization,
+    find_circular_ones_order,
+    find_consecutive_ones_order,
+    has_circular_ones,
+    has_consecutive_ones,
+    path_realization,
+)
+from .errors import (
+    AlignmentError,
+    DecompositionError,
+    GraphError,
+    InvalidEnsembleError,
+    NotTwoConnectedError,
+    PQTreeError,
+    PRAMError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ensemble",
+    "BinaryMatrix",
+    "SolverStats",
+    "path_realization",
+    "cycle_realization",
+    "find_consecutive_ones_order",
+    "find_circular_ones_order",
+    "has_consecutive_ones",
+    "has_circular_ones",
+    "is_consecutive",
+    "is_circular_consecutive",
+    "verify_linear_layout",
+    "verify_circular_layout",
+    "ReproError",
+    "InvalidEnsembleError",
+    "GraphError",
+    "NotTwoConnectedError",
+    "DecompositionError",
+    "AlignmentError",
+    "PQTreeError",
+    "PRAMError",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Applications of the consecutive-ones machinery (Sections 1.1 and 1.4).
+
+* :mod:`repro.apps.physmap` — physical mapping of genomes from clone/probe
+  fingerprint data (the paper's motivating application),
+* :mod:`repro.apps.intervalgraph` — interval graph recognition via the
+  clique-matrix reduction to C1P,
+* :mod:`repro.apps.gatematrix` — gate-matrix layout, solvable in polynomial
+  time for C1P matrices (Deo, Krishnamoorthy and Langston),
+* :mod:`repro.apps.database` — the consecutive-retrieval property for file
+  organization (Ghosh).
+"""
+
+from .physmap import (
+    CloneLibrary,
+    PhysicalMap,
+    assemble_physical_map,
+    generate_clone_library,
+    inject_errors,
+)
+from .intervalgraph import (
+    is_interval_graph,
+    interval_representation,
+    maximal_cliques_if_chordal,
+)
+from .gatematrix import gate_matrix_layout, GateMatrixLayout
+from .database import consecutive_retrieval_organization, RetrievalPlan
+
+__all__ = [
+    "CloneLibrary",
+    "PhysicalMap",
+    "generate_clone_library",
+    "inject_errors",
+    "assemble_physical_map",
+    "is_interval_graph",
+    "interval_representation",
+    "maximal_cliques_if_chordal",
+    "gate_matrix_layout",
+    "GateMatrixLayout",
+    "consecutive_retrieval_organization",
+    "RetrievalPlan",
+]

@@ -1,0 +1,67 @@
+"""The consecutive-retrieval property for file organization (Section 1.4).
+
+Ghosh's consecutive-retrieval property asks whether records can be stored in
+a linear file so that every query's answer set occupies consecutive storage
+locations — then each query is answered with a single sequential scan and no
+seeks.  This is precisely the consecutive-ones property of the record × query
+matrix, so the solver applies directly; the module also reports simple cost
+figures (seek counts with and without the organization) used by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..core import path_realization
+from ..ensemble import Ensemble, is_consecutive
+
+__all__ = ["RetrievalPlan", "consecutive_retrieval_organization", "seek_count"]
+
+
+@dataclass(frozen=True)
+class RetrievalPlan:
+    """A storage order for records plus per-query retrieval costs."""
+
+    record_order: tuple[Hashable, ...]
+    consecutive_queries: int
+    fragmented_queries: int
+    total_seeks: int
+
+    @property
+    def has_consecutive_retrieval(self) -> bool:
+        return self.fragmented_queries == 0
+
+
+def seek_count(order: Sequence[Hashable], query: frozenset) -> int:
+    """Number of contiguous runs the query's records occupy in ``order``.
+
+    One run means a single seek; a fragmented query needs one seek per run.
+    """
+    positions = sorted(i for i, r in enumerate(order) if r in query)
+    if not positions:
+        return 0
+    runs = 1
+    for a, b in zip(positions, positions[1:]):
+        if b != a + 1:
+            runs += 1
+    return runs
+
+
+def consecutive_retrieval_organization(
+    records: Sequence[Hashable], queries: Sequence[frozenset]
+) -> RetrievalPlan:
+    """Organize ``records`` so that as many ``queries`` as possible are scans.
+
+    When the record × query matrix has the consecutive-ones property the
+    returned plan answers every query with a single seek; otherwise the
+    records are left in the given order (exact optimisation of fragmented
+    layouts is NP-hard) and the plan reports the resulting seek counts.
+    """
+    ensemble = Ensemble(tuple(records), tuple(frozenset(q) for q in queries))
+    order = path_realization(ensemble)
+    final = tuple(order) if order is not None else tuple(records)
+    consecutive = sum(1 for q in ensemble.columns if is_consecutive(final, q))
+    fragmented = len(queries) - consecutive
+    seeks = sum(seek_count(final, q) for q in ensemble.columns)
+    return RetrievalPlan(final, consecutive, fragmented, seeks)

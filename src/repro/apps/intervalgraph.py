@@ -1,0 +1,147 @@
+"""Interval graph recognition via the clique-matrix reduction (Section 1.4).
+
+A graph is an interval graph exactly when its maximal cliques can be linearly
+ordered so that, for every vertex, the cliques containing it are consecutive
+(Fulkerson–Gross).  The paper points out that interval-graph recognition
+therefore reduces to the consecutive-ones property: build the vertex ×
+maximal-clique matrix and test C1P.
+
+Maximal cliques of a chordal graph are extracted from a perfect elimination
+ordering computed with maximum-cardinality search; a graph that is not
+chordal is not an interval graph and is rejected before the C1P test.
+Everything is implemented from scratch on plain adjacency dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from ..core import path_realization
+from ..ensemble import Ensemble
+
+Vertex = Hashable
+
+__all__ = [
+    "maximal_cliques_if_chordal",
+    "is_interval_graph",
+    "interval_representation",
+]
+
+
+def _normalise_graph(
+    vertices: Iterable[Vertex], edges: Iterable[tuple[Vertex, Vertex]]
+) -> dict[Vertex, set]:
+    adj: dict[Vertex, set] = {v: set() for v in vertices}
+    for u, v in edges:
+        if u == v:
+            continue
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    return adj
+
+
+def _maximum_cardinality_search(adj: Mapping[Vertex, set]) -> list[Vertex]:
+    """A maximum-cardinality search ordering (reverse of a PEO for chordal graphs)."""
+    weights = {v: 0 for v in adj}
+    order: list[Vertex] = []
+    remaining = set(adj)
+    while remaining:
+        v = max(remaining, key=lambda u: weights[u])
+        order.append(v)
+        remaining.discard(v)
+        for w in adj[v]:
+            if w in remaining:
+                weights[w] += 1
+    return order
+
+
+def maximal_cliques_if_chordal(
+    vertices: Iterable[Vertex], edges: Iterable[tuple[Vertex, Vertex]]
+) -> list[frozenset] | None:
+    """The maximal cliques of a chordal graph, or ``None`` if not chordal.
+
+    Uses maximum-cardinality search: the ordering it produces is a perfect
+    elimination ordering exactly when the graph is chordal, which is verified
+    directly; the cliques ``{v} ∪ later-neighbours(v)`` then cover every
+    maximal clique.
+    """
+    adj = _normalise_graph(vertices, edges)
+    order = _maximum_cardinality_search(adj)
+    position = {v: i for i, v in enumerate(order)}
+    # verify the PEO property and collect candidate cliques
+    cliques: list[frozenset] = []
+    for i, v in enumerate(order):
+        earlier = {u for u in adj[v] if position[u] < i}
+        if earlier:
+            # the latest earlier neighbour must be adjacent to all the others
+            pivot = max(earlier, key=lambda u: position[u])
+            others = earlier - {pivot}
+            if not others <= adj[pivot]:
+                return None
+        cliques.append(frozenset({v} | earlier))
+    # keep only maximal candidate cliques
+    maximal: list[frozenset] = []
+    for c in sorted(cliques, key=len, reverse=True):
+        if not any(c <= m for m in maximal):
+            maximal.append(c)
+    return maximal
+
+
+def is_interval_graph(
+    vertices: Iterable[Vertex], edges: Iterable[tuple[Vertex, Vertex]]
+) -> bool:
+    """True when the graph is an interval graph."""
+    return interval_representation(vertices, edges) is not None
+
+
+def interval_representation(
+    vertices: Iterable[Vertex], edges: Iterable[tuple[Vertex, Vertex]]
+) -> dict[Vertex, tuple[int, int]] | None:
+    """An interval model of the graph, or ``None`` when it is not interval.
+
+    The maximal cliques are ordered with the C1P solver so that every
+    vertex's cliques are consecutive; vertex ``v`` is then represented by the
+    interval of clique positions containing it.  Two vertices are adjacent in
+    the original graph exactly when their interval representations intersect.
+    """
+    vertices = list(vertices)
+    adj = _normalise_graph(vertices, edges)
+    cliques = maximal_cliques_if_chordal(vertices, adj_edges(adj))
+    if cliques is None:
+        return None
+    if not cliques:
+        return {v: (0, 0) for v in vertices}
+    # atoms = cliques (to be ordered); columns = one per vertex: the cliques containing it
+    atoms = tuple(range(len(cliques)))
+    columns = []
+    names = []
+    for v in vertices:
+        columns.append(frozenset(i for i, c in enumerate(cliques) if v in c))
+        names.append(str(v))
+    ensemble = Ensemble(atoms, tuple(columns), tuple(names))
+    order = path_realization(ensemble)
+    if order is None:
+        return None
+    position = {clique_index: pos for pos, clique_index in enumerate(order)}
+    model: dict[Vertex, tuple[int, int]] = {}
+    for v, col in zip(vertices, columns):
+        if not col:
+            model[v] = (-1, -1)  # isolated vertices get degenerate intervals
+            continue
+        positions = sorted(position[i] for i in col)
+        model[v] = (positions[0], positions[-1])
+    return model
+
+
+def adj_edges(adj: Mapping[Vertex, set]) -> list[tuple[Vertex, Vertex]]:
+    """Edge list of an adjacency mapping (each edge reported once)."""
+    out = []
+    seen = set()
+    for u, nbrs in adj.items():
+        for v in nbrs:
+            key = frozenset((u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append((u, v))
+    return out

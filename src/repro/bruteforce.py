@@ -1,0 +1,97 @@
+"""Exhaustive baselines for tiny instances.
+
+These are the ground-truth oracles used to validate both the divide-and-conquer
+solver and the PQ-tree baseline on small ensembles.  They enumerate atom
+permutations (with the usual symmetry reductions) and are therefore only
+usable up to roughly 9 atoms, which is plenty for randomized cross-validation.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Sequence
+
+from .ensemble import (
+    Ensemble,
+    verify_circular_layout,
+    verify_linear_layout,
+)
+
+__all__ = [
+    "brute_force_path_order",
+    "brute_force_cycle_order",
+    "brute_force_has_c1p",
+    "brute_force_has_circular_ones",
+]
+
+_MAX_ATOMS = 10
+
+
+def _check_size(ensemble: Ensemble) -> None:
+    if ensemble.num_atoms > _MAX_ATOMS:
+        raise ValueError(
+            f"brute force limited to {_MAX_ATOMS} atoms, got {ensemble.num_atoms}"
+        )
+
+
+def brute_force_path_order(ensemble: Ensemble) -> tuple | None:
+    """A consecutive-ones layout found by exhaustive search, or ``None``.
+
+    The first atom is fixed in place only when that is safe (it is not: a
+    fixed first atom can miss layouts), so the full factorial search is used;
+    reversal symmetry is exploited by only enumerating layouts whose first
+    atom precedes the last atom in the canonical atom order.
+    """
+    _check_size(ensemble)
+    atoms = ensemble.atoms
+    if len(atoms) <= 1:
+        return tuple(atoms)
+    index = {a: i for i, a in enumerate(atoms)}
+    for perm in permutations(atoms):
+        if index[perm[0]] > index[perm[-1]]:
+            continue  # the reversed permutation will be (or was) tried
+        if verify_linear_layout(ensemble, perm):
+            return tuple(perm)
+    return None
+
+
+def brute_force_cycle_order(ensemble: Ensemble) -> tuple | None:
+    """A circular-ones layout found by exhaustive search, or ``None``.
+
+    Rotation symmetry is removed by fixing the first atom; reflection symmetry
+    is kept (harmless).
+    """
+    _check_size(ensemble)
+    atoms = ensemble.atoms
+    if len(atoms) <= 2:
+        return tuple(atoms)
+    first, rest = atoms[0], atoms[1:]
+    for perm in permutations(rest):
+        candidate = (first,) + perm
+        if verify_circular_layout(ensemble, candidate):
+            return candidate
+    return None
+
+
+def brute_force_has_c1p(ensemble: Ensemble) -> bool:
+    """Exhaustive consecutive-ones decision."""
+    return brute_force_path_order(ensemble) is not None
+
+
+def brute_force_has_circular_ones(ensemble: Ensemble) -> bool:
+    """Exhaustive circular-ones decision."""
+    return brute_force_cycle_order(ensemble) is not None
+
+
+def all_valid_orders(ensemble: Ensemble) -> list[tuple]:
+    """Every valid consecutive-ones layout (no symmetry reduction).
+
+    Exposed for tests that need to reason about the full solution set, e.g.
+    to check that the solver's answer is among the valid layouts.
+    """
+    _check_size(ensemble)
+    return [
+        tuple(perm)
+        for perm in permutations(ensemble.atoms)
+        if verify_linear_layout(ensemble, perm)
+    ]

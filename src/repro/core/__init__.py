@@ -1,0 +1,32 @@
+"""The paper's primary contribution: the divide-and-conquer C1P solver.
+
+* :mod:`repro.core.gp` — gp-realization graphs (Hamiltonian path + column
+  chords + the distinguished edge ``e``) and order extraction,
+* :mod:`repro.core.partition` — the divide step of Section 3.2,
+* :mod:`repro.core.merge` — the GAP / GAC alignment conditions of Section 3.1
+  and the combine step of Section 4.2,
+* :mod:`repro.core.solver` — the recursive ``Path-Realization`` /
+  ``Cycle-Realization`` drivers of Fig. 3,
+* :mod:`repro.core.instrument` — recursion statistics used by the
+  complexity experiments.
+"""
+
+from .instrument import SolverStats
+from .solver import (
+    cycle_realization,
+    find_circular_ones_order,
+    find_consecutive_ones_order,
+    has_circular_ones,
+    has_consecutive_ones,
+    path_realization,
+)
+
+__all__ = [
+    "SolverStats",
+    "path_realization",
+    "cycle_realization",
+    "find_consecutive_ones_order",
+    "find_circular_ones_order",
+    "has_consecutive_ones",
+    "has_circular_ones",
+]

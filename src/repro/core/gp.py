@@ -1,0 +1,156 @@
+"""gp-realization graphs (Section 2).
+
+A *gp-realization* of an ensemble ``(A, C)`` is a pair ``(G, P)`` where ``P``
+is a Hamiltonian path whose edges are indexed by the atoms and ``G`` is ``P``
+plus one non-path edge per column connecting the two ends of the column's
+subpath.  The divide-and-conquer merge additionally uses the distinguished
+non-path edge ``e`` between the two ends of ``P`` (the "full column"), which
+turns ``P ∪ {e}`` into a Hamiltonian cycle preserved by every Whitney switch.
+
+:class:`RealizationGraph` materializes this graph from a concrete atom order
+and a set of column atom-sets, keeps track of which chord realizes which
+interval, and can read an atom order back out of any 2-isomorphic copy (the
+path edges plus ``e`` always form a Hamiltonian cycle; walking it from one
+endpoint of ``e`` to the other recovers the order).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from ..errors import GraphError
+from ..graph.multigraph import MultiGraph
+
+Atom = Hashable
+
+__all__ = ["RealizationGraph", "interval_of", "is_prefix_or_suffix"]
+
+#: label carried by the distinguished edge ``e``
+E_LABEL = "__e__"
+
+
+def interval_of(order: Sequence[Atom], atoms: Iterable[Atom]) -> tuple[int, int]:
+    """The position interval ``(lo, hi)`` occupied by ``atoms`` in ``order``.
+
+    Raises :class:`~repro.errors.GraphError` when the atoms are not
+    contiguous in ``order`` (callers only ever pass columns of a valid
+    realization, so non-contiguity indicates an internal error).
+    """
+    pos = {a: i for i, a in enumerate(order)}
+    try:
+        positions = sorted(pos[a] for a in atoms)
+    except KeyError as exc:
+        raise GraphError(f"atom {exc.args[0]!r} not present in the order") from exc
+    if not positions:
+        raise GraphError("interval_of called with an empty atom set")
+    lo, hi = positions[0], positions[-1]
+    if hi - lo != len(positions) - 1:
+        raise GraphError("atoms are not contiguous in the order")
+    return lo, hi
+
+
+def is_prefix_or_suffix(order: Sequence[Atom], atoms: Iterable[Atom]) -> bool:
+    """True when ``atoms`` occupy a prefix or a suffix of ``order`` (contiguously)."""
+    atom_set = set(atoms)
+    if not atom_set:
+        return True
+    pos = {a: i for i, a in enumerate(order)}
+    if not atom_set <= set(order):
+        return False
+    positions = sorted(pos[a] for a in atom_set)
+    lo, hi = positions[0], positions[-1]
+    if hi - lo != len(positions) - 1:
+        return False
+    return lo == 0 or hi == len(order) - 1
+
+
+class RealizationGraph:
+    """The gp-realization graph of a concrete order and its column chords.
+
+    Parameters
+    ----------
+    order:
+        A valid realization order of the sub-ensemble (every constraint set
+        must be contiguous in it).
+    chord_sets:
+        Atom sets to realize as non-path chords.  Sets that cover the whole
+        order coincide with the distinguished edge ``e`` and are mapped to it;
+        duplicate intervals share a single chord (the paper's "no parallel
+        non-path edges" normalization).
+    """
+
+    def __init__(self, order: Sequence[Atom], chord_sets: Iterable[Iterable[Atom]]) -> None:
+        self.order = list(order)
+        n = len(self.order)
+        if n == 0:
+            raise GraphError("cannot build a realization graph on zero atoms")
+        g = MultiGraph()
+        for i, atom in enumerate(self.order):
+            g.add_edge(i, i + 1, kind="path", label=atom, eid=i)
+        self.e_eid = n
+        g.add_edge(0, n, kind="nonpath", label=E_LABEL, eid=self.e_eid)
+        self._interval_to_eid: dict[tuple[int, int], int] = {(0, n - 1): self.e_eid}
+        next_eid = n + 1
+        for chord in chord_sets:
+            chord = set(chord)
+            if not chord:
+                continue
+            lo, hi = interval_of(self.order, chord)
+            key = (lo, hi)
+            if key in self._interval_to_eid:
+                continue
+            eid = next_eid
+            next_eid += 1
+            g.add_edge(lo, hi + 1, kind="nonpath", label=key, eid=eid)
+            self._interval_to_eid[key] = eid
+        self.graph = g
+        self.num_atoms = n
+
+    # ------------------------------------------------------------------ #
+    def chord_for(self, atoms: Iterable[Atom]) -> int:
+        """The edge id of the chord realizing ``atoms`` (``e`` for the full set)."""
+        lo, hi = interval_of(self.order, atoms)
+        try:
+            return self._interval_to_eid[(lo, hi)]
+        except KeyError as exc:
+            raise GraphError(f"no chord was created for interval {(lo, hi)}") from exc
+
+    def chord_eids(self) -> list[int]:
+        """All chord edge ids except the distinguished edge ``e``."""
+        return [eid for key, eid in self._interval_to_eid.items() if eid != self.e_eid]
+
+    # ------------------------------------------------------------------ #
+    def order_from(self, graph: MultiGraph) -> list[Atom]:
+        """Read an atom order out of a 2-isomorphic copy of the realization graph.
+
+        The path edges plus ``e`` form a Hamiltonian cycle in any 2-isomorphic
+        copy; the cycle is walked starting from an endpoint of ``e`` and the
+        path-edge labels are reported in traversal order.
+        """
+        allowed = set(range(self.num_atoms)) | {self.e_eid}
+        adjacency: dict = {}
+        for eid in allowed:
+            edge = graph.edge(eid)
+            adjacency.setdefault(edge.u, []).append(eid)
+            adjacency.setdefault(edge.v, []).append(eid)
+        if any(len(v) != 2 for v in adjacency.values()):
+            raise GraphError("path edges plus e do not form a Hamiltonian cycle")
+        e_edge = graph.edge(self.e_eid)
+        order: list[Atom] = []
+        vertex = e_edge.u
+        prev = self.e_eid
+        while True:
+            nxt = [eid for eid in adjacency[vertex] if eid != prev]
+            if len(nxt) != 1:
+                raise GraphError("cycle walk failed: branching vertex encountered")
+            eid = nxt[0]
+            if eid == self.e_eid:
+                break
+            order.append(graph.edge(eid).label)
+            vertex = graph.edge(eid).other(vertex)
+            prev = eid
+            if len(order) > self.num_atoms:
+                raise GraphError("cycle walk failed: too many path edges")
+        if len(order) != self.num_atoms:
+            raise GraphError("cycle walk failed: not all path edges were visited")
+        return order

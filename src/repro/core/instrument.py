@@ -1,0 +1,80 @@
+"""Recursion statistics for the complexity experiments (Theorem 9, E7).
+
+A :class:`SolverStats` instance can be passed to the solvers; it records the
+shape of the recursion tree (depth, number of subproblems, subproblem sizes
+per level), how often each divide case fired, and how much work the combine
+step did (Tutte splits performed, alignment plans computed, merge candidates
+verified).  The benchmarks use these counters to reproduce the paper's
+``O(log n)`` recursion-depth and balance claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SolverStats"]
+
+
+@dataclass
+class SolverStats:
+    """Counters filled in by :func:`repro.core.solver.path_realization`."""
+
+    #: maximum recursion depth reached
+    max_depth: int = 0
+    #: total number of recursive calls (subproblems)
+    subproblems: int = 0
+    #: number of atoms per subproblem, grouped by recursion depth
+    sizes_per_level: dict[int, list[int]] = field(default_factory=dict)
+    #: (atoms, columns, ones) per subproblem, grouped by recursion depth
+    shapes_per_level: dict[int, list[tuple[int, int, int]]] = field(default_factory=dict)
+    #: how many times each divide case fired
+    case_counts: dict[str, int] = field(default_factory=dict)
+    #: number of simple decompositions (splits) performed by Tutte builds
+    tutte_splits: int = 0
+    #: number of Tutte decompositions built
+    tutte_builds: int = 0
+    #: number of alignment plans attempted
+    alignments: int = 0
+    #: number of merge candidates verified against the GAP/GAC conditions
+    merge_candidates: int = 0
+    #: number of merges performed
+    merges: int = 0
+    #: explicit split balance records: (|A|, |A1|)
+    splits: list[tuple[int, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def enter(
+        self, depth: int, size: int, num_columns: int = 0, total_size: int = 0
+    ) -> None:
+        self.subproblems += 1
+        self.max_depth = max(self.max_depth, depth)
+        self.sizes_per_level.setdefault(depth, []).append(size)
+        self.shapes_per_level.setdefault(depth, []).append(
+            (size, num_columns, total_size)
+        )
+
+    def record_case(self, case: str) -> None:
+        self.case_counts[case] = self.case_counts.get(case, 0) + 1
+
+    def record_split(self, total: int, first_side: int) -> None:
+        self.splits.append((total, first_side))
+
+    def balance_ratios(self) -> list[float]:
+        """``|A1| / |A|`` for every split performed.
+
+        The paper's balance property guarantees each side holds at least one
+        third of the atoms; these ratios are asserted in the property tests.
+        """
+        return [first / total for total, first in self.splits if total]
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "max_depth": self.max_depth,
+            "subproblems": self.subproblems,
+            "case_counts": dict(self.case_counts),
+            "tutte_builds": self.tutte_builds,
+            "tutte_splits": self.tutte_splits,
+            "alignments": self.alignments,
+            "merge_candidates": self.merge_candidates,
+            "merges": self.merges,
+        }

@@ -1,0 +1,120 @@
+"""The divide step (Section 3.2).
+
+Given a connected ensemble the algorithm partitions the atom set ``A`` into
+``{A1, A2}`` such that (i) the partition is balanced (each side has at least
+``|A|/3`` atoms), (ii) the sub-ensemble induced by ``A1`` is connected, and
+(iii) ``A1`` is a *segment*: its atoms are contiguous in every realization.
+
+Three situations arise:
+
+* **Case 1** — some column has proper size (between ``|A|/3`` and
+  ``2|A|/3``): take it as ``A1``.
+* **Case 2a** — every column is small (fewer than ``|A|/3`` atoms): grow a
+  connected collection of columns until its union has proper size.
+* **Case 2b** — no proper-size column but some column is big: apply the
+  Tucker transform (complement big columns w.r.t. ``A ∪ {r}``) and solve the
+  resulting circular-ones instance instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+__all__ = ["PartitionDecision", "choose_partition", "grow_connected_collection"]
+
+Atom = Hashable
+
+
+@dataclass(frozen=True)
+class PartitionDecision:
+    """Outcome of the divide step.
+
+    ``kind`` is one of:
+
+    * ``"split"`` — partition into ``(segment, rest)``; ``segment`` holds the
+      chosen ``A1`` (Case 1 or Case 2a);
+    * ``"circular"`` — no usable partition exists directly; the caller must
+      apply the Tucker transform and solve the circular instance (Case 2b).
+    """
+
+    kind: str
+    segment: frozenset = frozenset()
+    case: str = ""
+
+
+def _is_proper(size: int, n: int) -> bool:
+    """``|A|/3 <= size <= 2|A|/3`` using exact integer arithmetic."""
+    return 3 * size >= n and 3 * size <= 2 * n
+
+
+def grow_connected_collection(
+    atoms: Sequence[Atom], columns: Sequence[frozenset]
+) -> frozenset | None:
+    """Grow a connected collection of columns whose union has proper size.
+
+    Starting from an arbitrary column, columns sharing an atom with the
+    current collection are added (breadth-first) until the union exceeds
+    ``|A|/3`` atoms.  Because every column has fewer than ``|A|/3`` atoms the
+    union never exceeds ``2|A|/3``.  Returns ``None`` when no collection
+    reaches the threshold (the ensemble then decomposes into small
+    components, which the caller handles separately).
+    """
+    n = len(atoms)
+    if not columns:
+        return None
+    # adjacency between columns through shared atoms
+    atom_to_cols: dict[Atom, list[int]] = {}
+    for idx, col in enumerate(columns):
+        for a in col:
+            atom_to_cols.setdefault(a, []).append(idx)
+
+    visited_cols: set[int] = set()
+    for start in range(len(columns)):
+        if start in visited_cols:
+            continue
+        union: set[Atom] = set()
+        queue = [start]
+        component_cols: set[int] = {start}
+        while queue:
+            ci = queue.pop()
+            visited_cols.add(ci)
+            union |= columns[ci]
+            if 3 * len(union) > n:
+                return frozenset(union)
+            for a in columns[ci]:
+                for cj in atom_to_cols[a]:
+                    if cj not in component_cols:
+                        component_cols.add(cj)
+                        queue.append(cj)
+    return None
+
+
+def choose_partition(
+    atoms: Sequence[Atom], columns: Sequence[frozenset]
+) -> PartitionDecision:
+    """Decide how to divide a connected ensemble (Section 3.2).
+
+    ``columns`` must already exclude trivial (size <= 1) and full columns.
+    """
+    n = len(atoms)
+    # Case 1: a proper-size column.
+    best: frozenset | None = None
+    best_gap = None
+    for col in columns:
+        if _is_proper(len(col), n):
+            gap = abs(2 * len(col) - n)  # prefer the most balanced choice
+            if best is None or gap < best_gap:
+                best, best_gap = col, gap
+    if best is not None:
+        return PartitionDecision("split", frozenset(best), case="case1")
+
+    # Case 2a: all columns small -> grow a connected collection.
+    if all(3 * len(col) < n for col in columns):
+        union = grow_connected_collection(atoms, columns)
+        if union is not None:
+            return PartitionDecision("split", union, case="case2a")
+        return PartitionDecision("circular", case="case2a-disconnected")
+
+    # Case 2b: big columns present, no proper-size column.
+    return PartitionDecision("circular", case="case2b")

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything produced by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the :mod:`repro` package."""
+
+
+class InvalidEnsembleError(ReproError):
+    """Raised when an ensemble or matrix is structurally malformed.
+
+    Examples: a column referencing an atom that is not part of the atom set,
+    a matrix with entries other than 0/1, or an empty atom universe where one
+    is required.
+    """
+
+
+class GraphError(ReproError):
+    """Raised on structurally invalid graph operations.
+
+    Examples: querying an edge id that does not exist, asking for the Tutte
+    decomposition of a graph that is not 2-connected, or composing a
+    decomposition whose marker links are inconsistent.
+    """
+
+
+class NotTwoConnectedError(GraphError):
+    """Raised when an operation requires a 2-connected graph but the input
+    graph has a cut vertex or is disconnected."""
+
+
+class DecompositionError(GraphError):
+    """Raised when a Tutte decomposition is internally inconsistent, for
+    example when a marker edge does not appear in exactly two members."""
+
+
+class AlignmentError(ReproError):
+    """Raised when the Whitney-switch alignment machinery is invoked with
+    arguments that violate its preconditions (e.g. a target edge that is not
+    present in the realization graph)."""
+
+
+class PQTreeError(ReproError):
+    """Raised by the PQ-tree baseline on invalid reductions or malformed
+    trees."""
+
+
+class PRAMError(ReproError):
+    """Raised by the PRAM simulator on invalid programs, e.g. reading an
+    uninitialised shared-memory cell in COMMON concurrent-write mode."""

@@ -1,0 +1,30 @@
+"""Graph substrate: edge-labelled multigraphs and connectivity algorithms.
+
+Everything the Tutte-decomposition and Whitney-switch machinery needs is
+implemented here from scratch: multigraphs with stable edge identities,
+depth-first traversal, articulation points, biconnected components and
+2-separation (split pair) search.
+"""
+
+from .multigraph import Edge, MultiGraph
+from .traversal import (
+    articulation_points,
+    biconnected_components,
+    connected_components,
+    is_biconnected,
+    is_connected,
+)
+from .separation import find_two_separation, is_triconnected, TwoSeparation
+
+__all__ = [
+    "Edge",
+    "MultiGraph",
+    "articulation_points",
+    "biconnected_components",
+    "connected_components",
+    "is_biconnected",
+    "is_connected",
+    "find_two_separation",
+    "is_triconnected",
+    "TwoSeparation",
+]

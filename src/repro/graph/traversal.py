@@ -1,0 +1,228 @@
+"""Depth-first traversal, connectivity and biconnectivity.
+
+All algorithms are iterative (no recursion-depth limits) and work on
+:class:`~repro.graph.multigraph.MultiGraph` instances, treating parallel
+edges correctly: two vertices joined by at least two parallel edges are
+biconnected through them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from .multigraph import MultiGraph
+
+Vertex = Hashable
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "articulation_points",
+    "biconnected_components",
+    "is_biconnected",
+]
+
+
+def connected_components(
+    graph: MultiGraph, *, skip_vertices: Iterable[Vertex] = ()
+) -> list[set]:
+    """Connected components of ``graph`` with ``skip_vertices`` removed.
+
+    The removed vertices do not appear in any returned component.  Isolated
+    vertices form singleton components.
+    """
+    skip = set(skip_vertices)
+    seen: set = set(skip)
+    components: list[set] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        comp = {start}
+        seen.add(start)
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for eid in graph.incident_edges(v):
+                w = graph.edge(eid).other(v)
+                if w in seen:
+                    continue
+                seen.add(w)
+                comp.add(w)
+                stack.append(w)
+        components.append(comp)
+    return components
+
+
+def is_connected(graph: MultiGraph) -> bool:
+    """True for graphs with at most one connected component."""
+    if graph.num_vertices <= 1:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def _dfs_low(graph: MultiGraph, *, skip: set | None = None):
+    """Shared iterative DFS computing discovery and low-link numbers.
+
+    Returns ``(order, low, parent_edge, roots, children_of_root)`` where
+    ``order`` maps vertices to DFS discovery indices, ``low`` to low-link
+    values computed over edges other than the tree edge to the parent (so a
+    parallel edge back to the parent correctly lowers the low-link).
+    """
+    skip = skip or set()
+    order: dict[Vertex, int] = {}
+    low: dict[Vertex, int] = {}
+    parent_edge: dict[Vertex, int | None] = {}
+    roots: list[Vertex] = []
+    root_children: dict[Vertex, int] = {}
+    counter = 0
+
+    for start in graph.vertices():
+        if start in skip or start in order:
+            continue
+        roots.append(start)
+        root_children[start] = 0
+        order[start] = counter
+        low[start] = counter
+        counter += 1
+        parent_edge[start] = None
+        # stack holds (vertex, iterator over incident edge ids)
+        stack = [(start, iter(graph.incident_edges(start)))]
+        while stack:
+            v, it = stack[-1]
+            advanced = False
+            for eid in it:
+                edge = graph.edge(eid)
+                w = edge.other(v)
+                if w in skip:
+                    continue
+                if w not in order:
+                    order[w] = counter
+                    low[w] = counter
+                    counter += 1
+                    parent_edge[w] = eid
+                    if v == start:
+                        root_children[start] += 1
+                    stack.append((w, iter(graph.incident_edges(w))))
+                    advanced = True
+                    break
+                # back edge or parallel edge; ignore only the tree edge itself
+                if eid != parent_edge.get(v):
+                    low[v] = min(low[v], order[w])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    p, _ = stack[-1]
+                    low[p] = min(low[p], low[v])
+        # done with this root
+    return order, low, parent_edge, roots, root_children
+
+
+def articulation_points(
+    graph: MultiGraph, *, skip_vertices: Iterable[Vertex] = ()
+) -> set:
+    """Cut vertices of ``graph`` (with ``skip_vertices`` removed first).
+
+    A vertex ``v`` is an articulation point when removing it increases the
+    number of connected components among the remaining vertices.
+    """
+    skip = set(skip_vertices)
+    order, low, parent_edge, roots, root_children = _dfs_low(graph, skip=skip)
+    cuts: set = set()
+    for v in order:
+        if v in roots:
+            if root_children[v] >= 2:
+                cuts.add(v)
+            continue
+        # v is an articulation point when some DFS child w has low[w] >= order[v]
+    # second pass: walk parent relationships
+    for w, peid in parent_edge.items():
+        if peid is None:
+            continue
+        v = graph.edge(peid).other(w)
+        if v in roots:
+            continue
+        if low[w] >= order[v]:
+            cuts.add(v)
+    return cuts
+
+
+def is_biconnected(graph: MultiGraph) -> bool:
+    """True when the graph is connected and has no articulation point.
+
+    Graphs with fewer than two vertices, and two vertices joined by at least
+    one edge, count as biconnected for the purposes of the decomposition
+    machinery (the paper's realization graphs always have a Hamiltonian cycle,
+    so the distinction never matters there).
+    """
+    if graph.num_vertices <= 1:
+        return True
+    if not is_connected(graph):
+        return False
+    if graph.num_vertices == 2:
+        return graph.num_edges >= 1
+    return not articulation_points(graph)
+
+
+def biconnected_components(graph: MultiGraph) -> list[list[int]]:
+    """Edge ids of each biconnected component (block) of the graph.
+
+    Uses the classic stack-of-edges algorithm; parallel edges land in the same
+    block as their partners.
+    """
+    order: dict[Vertex, int] = {}
+    low: dict[Vertex, int] = {}
+    parent_edge: dict[Vertex, int | None] = {}
+    counter = 0
+    blocks: list[list[int]] = []
+    edge_stack: list[int] = []
+    on_stack: set[int] = set()
+
+    for start in graph.vertices():
+        if start in order:
+            continue
+        order[start] = counter
+        low[start] = counter
+        counter += 1
+        parent_edge[start] = None
+        stack = [(start, iter(graph.incident_edges(start)))]
+        while stack:
+            v, it = stack[-1]
+            advanced = False
+            for eid in it:
+                edge = graph.edge(eid)
+                w = edge.other(v)
+                if w not in order:
+                    order[w] = counter
+                    low[w] = counter
+                    counter += 1
+                    parent_edge[w] = eid
+                    edge_stack.append(eid)
+                    on_stack.add(eid)
+                    stack.append((w, iter(graph.incident_edges(w))))
+                    advanced = True
+                    break
+                if eid != parent_edge.get(v):
+                    # back edge to an ancestor: record it exactly once
+                    if order[w] < order[v] and eid not in on_stack:
+                        edge_stack.append(eid)
+                        on_stack.add(eid)
+                    low[v] = min(low[v], order[w])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    p, _ = stack[-1]
+                    low[p] = min(low[p], low[v])
+                    peid = parent_edge[v]
+                    if low[v] >= order[p]:
+                        # pop a block ending with the tree edge (p, v)
+                        block: list[int] = []
+                        while edge_stack:
+                            top = edge_stack.pop()
+                            on_stack.discard(top)
+                            block.append(top)
+                            if top == peid:
+                                break
+                        if block:
+                            blocks.append(block)
+        # isolated vertex: no block
+    return blocks

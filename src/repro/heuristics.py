@@ -1,0 +1,101 @@
+"""Heuristics for error-laden instances (Section 1.1).
+
+Experimental fingerprint data contains false positives, false negatives and
+chimeric clones, so the clone × STS matrix usually does *not* have the
+consecutive-ones property.  The paper motivates having exact C1P algorithms
+available as subroutines inside heuristic pipelines; this module provides two
+such simple pipelines built on the exact solver:
+
+* :func:`greedy_c1p_clone_subset` — greedily discard conflicting columns
+  (clones) until the remainder is consecutive-ones realizable,
+* :func:`local_search_order` — hill-climb an atom order to minimise the
+  number of gaps (non-contiguous columns), useful when no consistent subset
+  explanation is required.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from .core import path_realization
+from .ensemble import Ensemble, is_consecutive
+
+__all__ = ["greedy_c1p_clone_subset", "count_violations", "local_search_order"]
+
+
+def count_violations(order: Sequence[Hashable], columns: Sequence[frozenset]) -> int:
+    """Number of columns that are not contiguous in ``order``."""
+    return sum(0 if is_consecutive(order, col) else 1 for col in columns)
+
+
+def greedy_c1p_clone_subset(
+    ensemble: Ensemble,
+) -> tuple[list[int], list[int], list[Hashable] | None]:
+    """Discard columns until the remaining ensemble is consecutive-ones.
+
+    Columns are considered in increasing size, so the short (typically
+    reliable) fingerprints are committed to first and the long, error-prone
+    clones are the ones discarded when they conflict; each decision is one
+    exact C1P test.  Returns ``(kept column indices, discarded column
+    indices, realizing order)``.
+    """
+    order_of_attack = sorted(
+        range(ensemble.num_columns), key=lambda i: len(ensemble.columns[i])
+    )
+    kept: list[int] = []
+    discarded: list[int] = []
+    current_order: list[Hashable] | None = list(ensemble.atoms)
+    for idx in order_of_attack:
+        candidate_cols = [ensemble.columns[i] for i in kept] + [ensemble.columns[idx]]
+        candidate = Ensemble(ensemble.atoms, tuple(candidate_cols))
+        order = path_realization(candidate)
+        if order is None:
+            discarded.append(idx)
+        else:
+            kept.append(idx)
+            current_order = order
+    kept.sort()
+    discarded.sort()
+    return kept, discarded, current_order
+
+
+def local_search_order(
+    ensemble: Ensemble,
+    rng: random.Random | None = None,
+    *,
+    max_iterations: int = 2000,
+) -> tuple[list[Hashable], int]:
+    """Hill-climbing over atom orders to minimise violated columns.
+
+    Starts from the exact solver's answer when one exists (zero violations),
+    otherwise from a random order, and repeatedly applies the best of a
+    sampled set of adjacent transpositions and block reversals.  Returns the
+    best order found and its violation count.  This mirrors the local-search
+    strategies cited in the paper's introduction for error-laden data.
+    """
+    rng = rng or random.Random()
+    exact = path_realization(ensemble)
+    if exact is not None:
+        return list(exact), 0
+
+    order = list(ensemble.atoms)
+    rng.shuffle(order)
+    best = count_violations(order, ensemble.columns)
+    n = len(order)
+    if n < 2:
+        return order, best
+    for _ in range(max_iterations):
+        if best == 0:
+            break
+        i, j = sorted(rng.sample(range(n), 2))
+        move = rng.random()
+        candidate = list(order)
+        if move < 0.5:
+            candidate[i], candidate[j] = candidate[j], candidate[i]
+        else:
+            candidate[i : j + 1] = reversed(candidate[i : j + 1])
+        score = count_violations(candidate, ensemble.columns)
+        if score <= best:
+            order, best = candidate, score
+    return order, best

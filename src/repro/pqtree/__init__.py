@@ -1,0 +1,25 @@
+"""Booth–Lueker PQ-trees: the classic sequential C1P algorithm (baseline).
+
+The paper positions its divide-and-conquer algorithm against the linear-time
+PQ-tree algorithm of Booth and Lueker (1976), "a data structure with a
+complicated implementation" (Section 1.2).  This package provides a complete,
+correct PQ-tree implementation used as the sequential baseline in the
+benchmarks and as an additional correctness oracle in the tests.  The
+reduction templates are implemented in their straightforward recursive form
+(each reduction costs ``O(n)``), not the amortized linear-time version — the
+baseline's asymptotics are documented in EXPERIMENTS.md.
+"""
+
+from .nodes import PQLeaf, PQNode, QNode, PNode
+from .pqtree import PQTree
+from .c1p import pqtree_consecutive_ones_order, pqtree_has_c1p
+
+__all__ = [
+    "PQLeaf",
+    "PQNode",
+    "PNode",
+    "QNode",
+    "PQTree",
+    "pqtree_consecutive_ones_order",
+    "pqtree_has_c1p",
+]

@@ -1,0 +1,28 @@
+"""Consecutive-ones testing via PQ-trees (the Booth–Lueker baseline)."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..ensemble import Ensemble
+from .pqtree import PQTree
+
+__all__ = ["pqtree_consecutive_ones_order", "pqtree_has_c1p"]
+
+
+def pqtree_consecutive_ones_order(ensemble: Ensemble) -> list[Hashable] | None:
+    """A consecutive-ones layout computed with PQ-tree reductions, or ``None``.
+
+    Every column of the ensemble is reduced in turn; if all reductions
+    succeed, any frontier of the resulting tree is a valid layout.
+    """
+    tree = PQTree(ensemble.atoms)
+    for column in ensemble.columns:
+        if not tree.reduce(column):
+            return None
+    return tree.frontier()
+
+
+def pqtree_has_c1p(ensemble: Ensemble) -> bool:
+    """Decision version of :func:`pqtree_consecutive_ones_order`."""
+    return pqtree_consecutive_ones_order(ensemble) is not None

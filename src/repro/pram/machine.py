@@ -1,0 +1,150 @@
+"""A synchronous CRCW PRAM simulator with work/depth accounting.
+
+The simulator executes one *parallel step* at a time.  Within a step every
+participating processor reads the shared memory as it was at the *start* of
+the step and issues buffered writes; at the end of the step write conflicts
+are resolved according to the machine's concurrent-write policy:
+
+* ``ARBITRARY`` — any of the competing values is kept (the model assumed by
+  the Fussell et al. triconnectivity algorithm the paper builds on),
+* ``COMMON`` — competing writes must agree, otherwise the program is invalid,
+* ``PRIORITY`` — the lowest processor id wins.
+
+Counters track depth (number of steps), work (number of processor-operations)
+and the maximum number of processors used in any single step; these are the
+quantities Theorem 9 bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Sequence
+
+from ..errors import PRAMError
+
+__all__ = ["WritePolicy", "SharedMemory", "PRAM", "WriteConflictError"]
+
+
+class WriteConflictError(PRAMError):
+    """Raised in COMMON mode when concurrent writes to a cell disagree."""
+
+
+class WritePolicy:
+    ARBITRARY = "arbitrary"
+    COMMON = "common"
+    PRIORITY = "priority"
+
+
+class SharedMemory:
+    """The PRAM's shared memory: a flat addressable store.
+
+    During a parallel step processors see a frozen snapshot through
+    :meth:`read`; writes are buffered and committed by the machine when the
+    step ends.
+    """
+
+    def __init__(self) -> None:
+        self._cells: dict[Hashable, object] = {}
+        self._pending: list[tuple[int, Hashable, object]] = []
+
+    # -- processor-facing API -------------------------------------------- #
+    def read(self, address: Hashable, default: object = None) -> object:
+        return self._cells.get(address, default)
+
+    def write(self, pid: int, address: Hashable, value: object) -> None:
+        self._pending.append((pid, address, value))
+
+    # -- machine-facing API ---------------------------------------------- #
+    def load(self, values: dict[Hashable, object]) -> None:
+        """Initialise cells directly (not counted as parallel work)."""
+        self._cells.update(values)
+
+    def snapshot(self) -> dict[Hashable, object]:
+        return dict(self._cells)
+
+    def commit(self, policy: str) -> int:
+        """Apply buffered writes according to ``policy``; returns #writes."""
+        by_address: dict[Hashable, list[tuple[int, object]]] = {}
+        for pid, address, value in self._pending:
+            by_address.setdefault(address, []).append((pid, value))
+        for address, writes in by_address.items():
+            if len(writes) == 1 or policy == WritePolicy.ARBITRARY:
+                self._cells[address] = writes[-1][1]
+            elif policy == WritePolicy.COMMON:
+                values = {repr(v) for _, v in writes}
+                if len(values) > 1:
+                    raise WriteConflictError(
+                        f"conflicting COMMON-mode writes to address {address!r}"
+                    )
+                self._cells[address] = writes[0][1]
+            elif policy == WritePolicy.PRIORITY:
+                self._cells[address] = min(writes, key=lambda t: t[0])[1]
+            else:  # pragma: no cover - defensive
+                raise PRAMError(f"unknown write policy {policy!r}")
+        count = len(self._pending)
+        self._pending = []
+        return count
+
+
+@dataclass
+class PRAM:
+    """The machine: counters plus a shared memory and a write policy."""
+
+    policy: str = WritePolicy.ARBITRARY
+    memory: SharedMemory = field(default_factory=SharedMemory)
+    depth: int = 0
+    work: int = 0
+    max_processors: int = 0
+    steps: list[tuple[str, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def parallel_step(
+        self,
+        operations: Sequence[Callable[[int, SharedMemory], None]],
+        *,
+        label: str = "step",
+    ) -> None:
+        """Execute one synchronous parallel step.
+
+        ``operations[i]`` is the program of processor ``i`` for this step; it
+        may read the (pre-step) memory and issue buffered writes.  Depth grows
+        by one, work by the number of participating processors.
+        """
+        if not operations:
+            return
+        for pid, op in enumerate(operations):
+            op(pid, self.memory)
+        self.memory.commit(self.policy)
+        self.depth += 1
+        self.work += len(operations)
+        self.max_processors = max(self.max_processors, len(operations))
+        self.steps.append((label, len(operations)))
+
+    def charge(self, *, depth: int, work: int, processors: int = 0, label: str = "charged") -> None:
+        """Account for a sub-computation analytically (no execution).
+
+        Used for the parallel Tutte decomposition of Fussell et al., which is
+        charged at its published bound rather than re-implemented (DESIGN.md,
+        substitution 2).
+        """
+        if depth < 0 or work < 0:
+            raise PRAMError("charges must be non-negative")
+        self.depth += depth
+        self.work += work
+        self.max_processors = max(self.max_processors, processors)
+        self.steps.append((label, processors or (work // max(depth, 1))))
+
+    # ------------------------------------------------------------------ #
+    def implied_processors(self) -> int:
+        """Work divided by depth (Brent's bound on the processor count)."""
+        if self.depth == 0:
+            return 0
+        return -(-self.work // self.depth)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "depth": self.depth,
+            "work": self.work,
+            "max_processors": self.max_processors,
+            "implied_processors": self.implied_processors(),
+        }

@@ -1,0 +1,154 @@
+"""Standard PRAM primitives used by the paper's Section 5 schedule.
+
+Each primitive is written as a sequence of genuine synchronous parallel steps
+on a :class:`~repro.pram.machine.PRAM`, so the machine's depth counter
+reflects the textbook parallel algorithm (logarithmic for every primitive
+here), not the Python control flow used to drive the simulation.
+
+* prefix sums — Hillis–Steele scan, ``⌈log2 n⌉`` steps with ``n`` processors;
+* maximum — balanced binary reduction;
+* list ranking — pointer jumping, ``⌈log2 n⌉`` steps;
+* connected components — hooking onto the smaller root followed by full
+  pointer-jump shortcutting; each hooking round at least halves the number of
+  live components, so the depth is ``O(log^2 n)`` in the worst case (the
+  simple textbook CRCW variant; the paper's schedule charges the partition
+  step at the cited tree-contraction bound instead, see
+  :mod:`repro.pram.parallel_solver`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from .machine import PRAM, SharedMemory
+
+__all__ = [
+    "parallel_prefix_sums",
+    "parallel_maximum",
+    "parallel_list_ranking",
+    "parallel_connected_components",
+]
+
+
+def parallel_prefix_sums(pram: PRAM, values: Sequence[float]) -> list[float]:
+    """Inclusive prefix sums via the Hillis–Steele scan."""
+    n = len(values)
+    if n == 0:
+        return []
+    mem = pram.memory
+    mem.load({("scan", i): v for i, v in enumerate(values)})
+    stride = 1
+    while stride < n:
+        def op_factory(i: int, s: int):
+            def op(pid: int, m: SharedMemory) -> None:
+                left = m.read(("scan", i - s)) if i - s >= 0 else None
+                if left is not None:
+                    m.write(pid, ("scan", i), m.read(("scan", i)) + left)
+            return op
+
+        pram.parallel_step([op_factory(i, stride) for i in range(n)], label="scan")
+        stride *= 2
+    return [mem.read(("scan", i)) for i in range(n)]
+
+
+def parallel_maximum(pram: PRAM, values: Sequence[float]) -> float:
+    """Maximum via a balanced binary reduction tree."""
+    if not values:
+        raise ValueError("parallel_maximum of an empty sequence")
+    mem = pram.memory
+    mem.load({("max", 0, i): v for i, v in enumerate(values)})
+    level = 0
+    width = len(values)
+    while width > 1:
+        half = (width + 1) // 2
+
+        def op_factory(i: int, lvl: int, w: int):
+            def op(pid: int, m: SharedMemory) -> None:
+                a = m.read(("max", lvl, 2 * i))
+                b = m.read(("max", lvl, 2 * i + 1)) if 2 * i + 1 < w else a
+                m.write(pid, ("max", lvl + 1, i), a if a >= b else b)
+            return op
+
+        pram.parallel_step([op_factory(i, level, width) for i in range(half)], label="reduce")
+        level += 1
+        width = half
+    return mem.read(("max", level, 0))
+
+
+def parallel_list_ranking(pram: PRAM, successor: Sequence[int | None]) -> list[int]:
+    """Distance of every list cell from the end of its list (pointer jumping).
+
+    ``successor[i]`` is the next cell of the linked list or ``None`` for the
+    last cell.  Runs ``⌈log2 n⌉`` jump rounds with ``n`` processors.
+    """
+    n = len(successor)
+    if n == 0:
+        return []
+    mem = pram.memory
+    mem.load({("nxt", i): successor[i] for i in range(n)})
+    mem.load({("rank", i): (0 if successor[i] is None else 1) for i in range(n)})
+    rounds = max(1, (n - 1).bit_length())
+    for _ in range(rounds):
+        def op_factory(i: int):
+            def op(pid: int, m: SharedMemory) -> None:
+                nxt = m.read(("nxt", i))
+                if nxt is None:
+                    return
+                m.write(pid, ("rank", i), m.read(("rank", i)) + m.read(("rank", nxt)))
+                m.write(pid, ("nxt", i), m.read(("nxt", nxt)))
+            return op
+
+        pram.parallel_step([op_factory(i) for i in range(n)], label="jump")
+    return [mem.read(("rank", i)) for i in range(n)]
+
+
+def parallel_connected_components(
+    pram: PRAM, num_vertices: int, edges: Iterable[tuple[int, int]]
+) -> list[int]:
+    """Connected-component labels via CRCW hooking and pointer jumping.
+
+    Every vertex starts as its own component label; in each round every edge
+    hooks the larger label onto the smaller one, then labels are
+    pointer-jumped to their roots.  At most ``O(log n)`` rounds are needed;
+    the loop stops as soon as a round changes nothing, so the measured depth
+    is the genuine parallel depth of the standard algorithm.
+    """
+    edges = [(u, v) for u, v in edges if u != v]
+    mem = pram.memory
+    mem.load({("cc", v): v for v in range(num_vertices)})
+    if num_vertices == 0:
+        return []
+
+    def jump_factory(v: int):
+        def op(pid: int, m: SharedMemory) -> None:
+            m.write(pid, ("cc", v), m.read(("cc", m.read(("cc", v)))))
+        return op
+
+    def shortcut() -> None:
+        """Pointer-jump until the parent forest is flat (a star per component)."""
+        while True:
+            before = [mem.read(("cc", v)) for v in range(num_vertices)]
+            pram.parallel_step([jump_factory(v) for v in range(num_vertices)], label="jump")
+            after = [mem.read(("cc", v)) for v in range(num_vertices)]
+            if after == before:
+                return
+
+    def hook_factory(u: int, v: int):
+        def op(pid: int, m: SharedMemory) -> None:
+            ru = m.read(("cc", u))
+            rv = m.read(("cc", v))
+            if ru < rv:
+                m.write(pid, ("cc", rv), ru)
+            elif rv < ru:
+                m.write(pid, ("cc", ru), rv)
+        return op
+
+    while True:
+        before = [mem.read(("cc", v)) for v in range(num_vertices)]
+        if edges:
+            pram.parallel_step([hook_factory(u, v) for u, v in edges], label="hook")
+        shortcut()
+        after = [mem.read(("cc", v)) for v in range(num_vertices)]
+        if after == before:
+            break
+    return [mem.read(("cc", v)) for v in range(num_vertices)]

@@ -1,0 +1,27 @@
+"""Tutte decomposition: splitting 2-connected graphs into 3-connected
+components, bonds and polygons (Section 2.2 of the paper).
+
+The decomposition is the paper's primary data structure: it gives an explicit
+representation of *all* Whitney switches, and therefore of all gp-realizations
+of an ensemble.  The package provides
+
+* :class:`~repro.tutte.members.Member` — a member graph (bond / polygon /
+  rigid) with marker edges,
+* :class:`~repro.tutte.decomposition.TutteDecomposition` — construction,
+  the decomposition tree, rooting, and minimal decompositions, and
+* :func:`~repro.tutte.compose.compose` — the composition ``m(D)`` with
+  explicit polygon-relinking and marker-orientation choices (the degrees of
+  freedom enumerated by Theorem 2).
+"""
+
+from .members import Member, MemberKind
+from .decomposition import TutteDecomposition
+from .compose import ComposeChoices, compose
+
+__all__ = [
+    "Member",
+    "MemberKind",
+    "TutteDecomposition",
+    "ComposeChoices",
+    "compose",
+]

@@ -1,0 +1,171 @@
+"""Composition ``m(D)`` of a Tutte decomposition, with explicit choices.
+
+Composing a decomposition glues members back together along their marker
+edges.  Theorem 2 of the paper identifies the degrees of freedom that relate
+any two 2-isomorphic graphs with the same decomposition:
+
+* each **polygon** member may be *relinked*, i.e. its edges rearranged into an
+  arbitrary cyclic order, and
+* each **marker** may be glued with either **orientation** (the one-to-one
+  mapping between its two pairs of ends).
+
+:func:`compose` performs the gluing for a given set of choices and returns a
+concrete graph on fresh vertices.  Any choice yields a graph 2-isomorphic to
+the original (same cycle space), which is exactly the property the alignment
+machinery of Section 4 exploits: it only has to pick choices that realize the
+required incidences, and the resulting graph is automatically a valid
+gp-realization of the same ensemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+from ..errors import DecompositionError
+from ..graph.multigraph import MultiGraph
+from .decomposition import TutteDecomposition
+from .members import MARKER_KIND, Member, MemberKind
+
+__all__ = ["ComposeChoices", "compose", "relink_polygon"]
+
+
+@dataclass
+class ComposeChoices:
+    """Choices steering the composition.
+
+    Attributes
+    ----------
+    polygon_orders:
+        ``member id -> sequence of edge ids`` giving the desired cyclic order
+        of that polygon member's edges (must be a permutation of them).
+        Members not mentioned keep their current arrangement.
+    orientations:
+        ``marker id -> (parent-side vertex key, child-side vertex key)``
+        requesting that those two vertices be identified when the marker is
+        glued.  Vertex keys are ``(member id, local vertex)`` pairs.  Markers
+        not mentioned are glued with an arbitrary orientation.
+    """
+
+    polygon_orders: dict[int, Sequence[int]] = field(default_factory=dict)
+    orientations: dict[int, tuple[tuple, tuple]] = field(default_factory=dict)
+
+
+def relink_polygon(member: Member, edge_order: Sequence[int]) -> MultiGraph:
+    """A polygon member graph rebuilt so its edges appear in ``edge_order``.
+
+    The returned graph lives on fresh local vertices ``0 .. k-1``; endpoint
+    identities of the member's old vertices are irrelevant for a polygon
+    (only the cyclic edge order matters, Theorem 2).
+    """
+    if member.kind is not MemberKind.POLYGON:
+        raise DecompositionError("relink_polygon called on a non-polygon member")
+    current = set(member.graph.edge_ids())
+    if set(edge_order) != current or len(edge_order) != len(current):
+        raise DecompositionError("edge_order must be a permutation of the polygon's edges")
+    g = MultiGraph()
+    k = len(edge_order)
+    for pos, eid in enumerate(edge_order):
+        edge = member.graph.edge(eid)
+        g.add_edge(pos, (pos + 1) % k, kind=edge.kind, label=edge.label, eid=eid)
+    return g
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict = {}
+
+    def find(self, x):
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, x, y) -> None:
+        rx, ry = self.find(x), self.find(y)
+        if rx != ry:
+            self.parent[ry] = rx
+
+
+def compose(
+    decomposition: TutteDecomposition,
+    choices: ComposeChoices | None = None,
+    *,
+    root_mid: int | None = None,
+) -> MultiGraph:
+    """Glue all members of ``decomposition`` into a single graph.
+
+    Vertices of the result are canonical representatives of the identified
+    ``(member id, local vertex)`` keys; real edges keep their edge ids, kinds
+    and labels, and marker edges disappear.
+    """
+    choices = choices or ComposeChoices()
+    if not decomposition.members:
+        return MultiGraph()
+    if root_mid is None:
+        root_mid = next(iter(decomposition.members))
+    parent = decomposition.rooted(root_mid)
+
+    # Materialize (possibly relinked) member graphs keyed by member id.
+    local_graphs: dict[int, MultiGraph] = {}
+    for mid, member in decomposition.members.items():
+        if mid in choices.polygon_orders:
+            local_graphs[mid] = relink_polygon(member, choices.polygon_orders[mid])
+        else:
+            local_graphs[mid] = member.graph
+
+    uf = _UnionFind()
+
+    def key(mid: int, vertex: Hashable) -> tuple:
+        return (mid, vertex)
+
+    # Glue every marker.  Orientation: honour an explicit request, otherwise
+    # pick arbitrarily (the first endpoint of each copy).
+    for marker, (ma, mb) in decomposition.marker_links.items():
+        ga, gb = local_graphs[ma], local_graphs[mb]
+        ea = _find_marker_edge(ga, marker)
+        eb = _find_marker_edge(gb, marker)
+        a_ends = (key(ma, ea.u), key(ma, ea.v))
+        b_ends = (key(mb, eb.u), key(mb, eb.v))
+        requested = choices.orientations.get(marker)
+        if requested is not None:
+            first, second = requested
+            if first in a_ends and second in b_ends:
+                pa, pb = first, second
+            elif first in b_ends and second in a_ends:
+                pa, pb = second, first
+            else:
+                raise DecompositionError(
+                    f"orientation request for marker {marker} does not name its endpoints"
+                )
+            other_a = a_ends[0] if a_ends[1] == pa else a_ends[1]
+            other_b = b_ends[0] if b_ends[1] == pb else b_ends[1]
+            uf.union(pa, pb)
+            uf.union(other_a, other_b)
+        else:
+            uf.union(a_ends[0], b_ends[0])
+            uf.union(a_ends[1], b_ends[1])
+
+    result = MultiGraph()
+    for mid, graph in local_graphs.items():
+        for edge in graph.edges():
+            if edge.kind == MARKER_KIND:
+                continue
+            u = uf.find(key(mid, edge.u))
+            v = uf.find(key(mid, edge.v))
+            if u == v:
+                raise DecompositionError(
+                    f"composition collapsed edge {edge.eid} to a self-loop"
+                )
+            result.add_edge(u, v, kind=edge.kind, label=edge.label, eid=edge.eid)
+    return result
+
+
+def _find_marker_edge(graph: MultiGraph, marker: int):
+    for edge in graph.edges_by_kind(MARKER_KIND):
+        if edge.label == marker:
+            return edge
+    raise DecompositionError(f"marker {marker} missing from a member graph")

@@ -1,0 +1,22 @@
+"""Whitney switches and the edge-alignment algorithms of Section 4.
+
+:mod:`repro.whitney.switches` implements the Whitney switch operation on a
+concrete 2-connected graph and the 2-isomorphism test (equality of cycle
+spaces, Theorem 1), used by tests and by the figure reproductions.
+
+:mod:`repro.whitney.alignment` implements the alignment algorithms of
+Section 4.1 (Cases A, B and C): given the Tutte decomposition of a
+gp-realization, it plans polygon relinkings and marker orientations (the
+Theorem 2 degrees of freedom) that make designated non-path edges incident to
+designated vertices, and composes the resulting 2-isomorphic copy.
+"""
+
+from .switches import whitney_switch, same_cycle_space, two_isomorphic
+from .alignment import AlignmentPlanner
+
+__all__ = [
+    "whitney_switch",
+    "same_cycle_space",
+    "two_isomorphic",
+    "AlignmentPlanner",
+]

@@ -1,0 +1,144 @@
+"""Whitney switches and 2-isomorphism (Section 2.1).
+
+A *Whitney switch* takes a 2-separation ``{E1, E2}`` of a 2-connected graph,
+with common vertices ``u`` and ``v``, and exchanges the roles of ``u`` and
+``v`` inside ``G[E1]``.  Two graphs on the same edge set are *2-isomorphic*
+when one can be obtained from the other by a sequence of such switches;
+Whitney's theorem (Theorem 1 in the paper) states that this holds exactly
+when the two graphs have the same set of cycles, i.e. the same cycle space
+over GF(2).  Both the operation and the cycle-space test are implemented
+here; they are used by the figure reproductions and as test oracles for the
+composition machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..errors import GraphError
+from ..graph.multigraph import MultiGraph
+
+Vertex = Hashable
+
+__all__ = ["whitney_switch", "same_cycle_space", "two_isomorphic", "fundamental_cycles"]
+
+
+def whitney_switch(
+    graph: MultiGraph, u: Vertex, v: Vertex, side: Iterable[int]
+) -> MultiGraph:
+    """Apply a Whitney switch and return the new graph.
+
+    ``side`` is the edge-id set ``E1`` of a 2-separation whose common
+    vertices are ``u`` and ``v``; within those edges the incidences of ``u``
+    and ``v`` are exchanged.  The function validates that ``u`` and ``v`` are
+    the only vertices shared between the two sides.
+    """
+    side = set(side)
+    all_ids = set(graph.edge_ids())
+    if not side <= all_ids:
+        raise GraphError("side contains unknown edge ids")
+    other = all_ids - side
+    if len(side) < 2 or len(other) < 2:
+        raise GraphError(
+            "a Whitney switch needs a 2-separation: both sides must have at least two edges"
+        )
+    verts_side = {x for eid in side for x in (graph.edge(eid).u, graph.edge(eid).v)}
+    verts_other = {x for eid in other for x in (graph.edge(eid).u, graph.edge(eid).v)}
+    shared = verts_side & verts_other
+    if shared != {u, v}:
+        raise GraphError(
+            f"{{u, v}} must be exactly the vertices shared by the two sides; shared = {shared}"
+        )
+
+    swapped = {u: v, v: u}
+    out = MultiGraph()
+    for edge in graph.edges():
+        if edge.eid in side:
+            nu = swapped.get(edge.u, edge.u)
+            nv = swapped.get(edge.v, edge.v)
+        else:
+            nu, nv = edge.u, edge.v
+        out.add_edge(nu, nv, kind=edge.kind, label=edge.label, eid=edge.eid)
+    return out
+
+
+def fundamental_cycles(graph: MultiGraph) -> list[frozenset]:
+    """Fundamental cycles (as edge-id sets) w.r.t. a DFS spanning forest."""
+    parent_edge: dict[Vertex, int | None] = {}
+    parent_vertex: dict[Vertex, Vertex | None] = {}
+    depth: dict[Vertex, int] = {}
+    visited: set[Vertex] = set()
+    cycles: list[frozenset] = []
+    tree_edges: set[int] = set()
+
+    for start in graph.vertices():
+        if start in visited:
+            continue
+        visited.add(start)
+        parent_edge[start] = None
+        parent_vertex[start] = None
+        depth[start] = 0
+        stack = [start]
+        while stack:
+            x = stack.pop()
+            for eid in graph.incident_edges(x):
+                y = graph.edge(eid).other(x)
+                if y not in visited:
+                    visited.add(y)
+                    parent_edge[y] = eid
+                    parent_vertex[y] = x
+                    depth[y] = depth[x] + 1
+                    tree_edges.add(eid)
+                    stack.append(y)
+
+    def tree_path(a: Vertex, b: Vertex) -> set[int]:
+        path: set[int] = set()
+        da, db = depth[a], depth[b]
+        while da > db:
+            path.add(parent_edge[a])
+            a = parent_vertex[a]
+            da -= 1
+        while db > da:
+            path.add(parent_edge[b])
+            b = parent_vertex[b]
+            db -= 1
+        while a != b:
+            path.add(parent_edge[a])
+            path.add(parent_edge[b])
+            a = parent_vertex[a]
+            b = parent_vertex[b]
+        return path
+
+    for edge in graph.edges():
+        if edge.eid in tree_edges:
+            continue
+        cyc = tree_path(edge.u, edge.v)
+        cyc.add(edge.eid)
+        cycles.append(frozenset(cyc))
+    return cycles
+
+
+def _is_cycle_space_element(graph: MultiGraph, edge_ids: frozenset) -> bool:
+    """True when the edge set has even degree at every vertex of ``graph``."""
+    degree: dict[Vertex, int] = {}
+    for eid in edge_ids:
+        if eid not in graph:
+            return False
+        e = graph.edge(eid)
+        degree[e.u] = degree.get(e.u, 0) + 1
+        degree[e.v] = degree.get(e.v, 0) + 1
+    return all(d % 2 == 0 for d in degree.values())
+
+
+def same_cycle_space(g1: MultiGraph, g2: MultiGraph) -> bool:
+    """True when the two graphs (on the same edge-id set) have equal cycle spaces."""
+    if set(g1.edge_ids()) != set(g2.edge_ids()):
+        return False
+    return all(_is_cycle_space_element(g2, c) for c in fundamental_cycles(g1)) and all(
+        _is_cycle_space_element(g1, c) for c in fundamental_cycles(g2)
+    )
+
+
+def two_isomorphic(g1: MultiGraph, g2: MultiGraph) -> bool:
+    """Whitney's criterion (Theorem 1): 2-isomorphic iff same set of cycles."""
+    return same_cycle_space(g1, g2)

@@ -1,0 +1,17 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator (per-test reproducibility)."""
+    return random.Random(0xC1B)
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)

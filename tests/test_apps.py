@@ -1,0 +1,241 @@
+"""Tests for the application modules (physical mapping, interval graphs,
+gate-matrix layout, consecutive retrieval) and the heuristics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    assemble_physical_map,
+    consecutive_retrieval_organization,
+    gate_matrix_layout,
+    generate_clone_library,
+    inject_errors,
+    interval_representation,
+    is_interval_graph,
+    maximal_cliques_if_chordal,
+)
+from repro.apps.gatematrix import tracks_lower_bound
+from repro.apps.physmap import map_accuracy
+from repro.ensemble import Ensemble, is_consecutive
+from repro.generators import random_c1p_ensemble
+from repro.heuristics import count_violations, greedy_c1p_clone_subset, local_search_order
+
+
+# ---------------------------------------------------------------------- #
+# physical mapping
+# ---------------------------------------------------------------------- #
+class TestPhysicalMapping:
+    def test_error_free_library_is_fully_consistent(self):
+        rng = random.Random(1)
+        lib = generate_clone_library(30, 40, rng, mean_clone_length=6)
+        result = assemble_physical_map(lib)
+        assert result.consistent
+        assert result.num_discarded == 0
+        assert sorted(result.sts_order) == sorted(lib.true_order)
+        assert map_accuracy(lib, result.sts_order) == 1.0
+
+    def test_every_clone_is_an_interval_of_the_assembled_map(self):
+        rng = random.Random(2)
+        lib = generate_clone_library(25, 30, rng)
+        result = assemble_physical_map(lib)
+        for clone in lib.clones:
+            assert is_consecutive(result.sts_order, clone)
+
+    def test_error_injection_changes_fingerprints(self):
+        rng = random.Random(3)
+        lib = generate_clone_library(20, 15, rng)
+        noisy = inject_errors(lib, rng, false_positive_rate=0.2, false_negative_rate=0.2)
+        assert noisy.num_clones == lib.num_clones
+        assert any(a != b for a, b in zip(lib.clones, noisy.clones))
+
+    def test_noisy_library_assembly_discards_clones_but_succeeds(self):
+        rng = random.Random(4)
+        lib = generate_clone_library(15, 12, rng, mean_clone_length=5)
+        noisy = inject_errors(lib, rng, false_positive_rate=0.25, chimerism_rate=0.3)
+        result = assemble_physical_map(noisy)
+        if not result.consistent:
+            assert result.num_discarded >= 1
+        assert result.sts_order is not None
+        # every clone kept by the greedy repair is an interval of the map
+        for idx in result.used_clones:
+            assert is_consecutive(result.sts_order, noisy.clones[idx])
+
+    def test_generator_validates_input(self):
+        with pytest.raises(ValueError):
+            generate_clone_library(0, 5)
+
+
+# ---------------------------------------------------------------------- #
+# interval graphs
+# ---------------------------------------------------------------------- #
+class TestIntervalGraphs:
+    def _interval_graph(self, intervals):
+        vertices = list(range(len(intervals)))
+        edges = []
+        for i in range(len(intervals)):
+            for j in range(i + 1, len(intervals)):
+                a, b = intervals[i], intervals[j]
+                if a[0] <= b[1] and b[0] <= a[1]:
+                    edges.append((i, j))
+        return vertices, edges
+
+    def test_path_graph_is_interval(self):
+        assert is_interval_graph([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+
+    def test_cycle_c4_is_not_interval(self):
+        assert not is_interval_graph([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+    def test_c4_is_not_chordal(self):
+        assert maximal_cliques_if_chordal([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3), (3, 0)]) is None
+
+    def test_net_graph_chordal_but_not_interval(self):
+        # the "net": a triangle with one pendant vertex on each corner is
+        # chordal but its pendant vertices form an asteroidal triple, so it
+        # is not an interval graph
+        vertices = ["a", "b", "c", "x", "y", "z"]
+        edges = [("a", "b"), ("b", "c"), ("c", "a"), ("a", "x"), ("b", "y"), ("c", "z")]
+        cliques = maximal_cliques_if_chordal(vertices, edges)
+        assert cliques is not None  # chordal
+        assert frozenset({"a", "b", "c"}) in cliques
+        assert not is_interval_graph(vertices, edges)
+
+    def test_complete_graph_is_interval(self):
+        vertices = list(range(5))
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        model = interval_representation(vertices, edges)
+        assert model is not None
+        # all intervals intersect pairwise
+        for i in range(5):
+            for j in range(i + 1, 5):
+                a, b = model[i], model[j]
+                assert a[0] <= b[1] and b[0] <= a[1]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_interval_graphs_accepted_with_correct_model(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 12)
+        intervals = []
+        for _ in range(n):
+            a = rng.randint(0, 20)
+            b = a + rng.randint(0, 6)
+            intervals.append((a, b))
+        vertices, edges = self._interval_graph(intervals)
+        model = interval_representation(vertices, edges)
+        assert model is not None
+        edge_set = {frozenset(e) for e in edges}
+        for i in range(n):
+            for j in range(i + 1, n):
+                a, b = model[i], model[j]
+                intersect = a[0] <= b[1] and b[0] <= a[1]
+                assert intersect == (frozenset((i, j)) in edge_set)
+
+
+# ---------------------------------------------------------------------- #
+# gate matrix layout
+# ---------------------------------------------------------------------- #
+class TestGateMatrix:
+    def test_layout_of_c1p_matrix_is_optimal(self):
+        rng = random.Random(5)
+        inst = random_c1p_ensemble(12, 10, rng)
+        layout = gate_matrix_layout(inst.ensemble)
+        assert layout is not None
+        assert layout.num_tracks == tracks_lower_bound(inst.ensemble, layout.gate_order)
+        # nets sharing a gate never share a track
+        position = {a: i for i, a in enumerate(layout.gate_order)}
+        spans = {
+            j: (min(position[a] for a in col), max(position[a] for a in col))
+            for j, col in enumerate(inst.ensemble.columns)
+            if col
+        }
+        for i in spans:
+            for j in spans:
+                if i < j and spans[i][0] <= spans[j][1] and spans[j][0] <= spans[i][1]:
+                    assert layout.track_of_net[i] != layout.track_of_net[j]
+
+    def test_non_c1p_matrix_rejected(self):
+        ens = Ensemble((0, 1, 2), (frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})))
+        assert gate_matrix_layout(ens) is None
+
+    def test_disjoint_nets_share_a_track(self):
+        ens = Ensemble((0, 1, 2, 3), (frozenset({0, 1}), frozenset({2, 3})))
+        layout = gate_matrix_layout(ens)
+        assert layout is not None
+        assert layout.num_tracks == 1
+
+
+# ---------------------------------------------------------------------- #
+# consecutive retrieval
+# ---------------------------------------------------------------------- #
+class TestDatabase:
+    def test_c1p_queries_become_single_scans(self):
+        rng = random.Random(6)
+        inst = random_c1p_ensemble(10, 8, rng)
+        plan = consecutive_retrieval_organization(inst.ensemble.atoms, inst.ensemble.columns)
+        assert plan.has_consecutive_retrieval
+        assert plan.total_seeks == sum(1 for c in inst.ensemble.columns if c)
+
+    def test_non_c1p_queries_report_fragmentation(self):
+        records = (0, 1, 2)
+        queries = (frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2}))
+        plan = consecutive_retrieval_organization(records, queries)
+        assert not plan.has_consecutive_retrieval
+        assert plan.fragmented_queries >= 1
+        assert plan.total_seeks > len(queries) - 1
+
+
+# ---------------------------------------------------------------------- #
+# heuristics
+# ---------------------------------------------------------------------- #
+class TestHeuristics:
+    def test_count_violations(self):
+        assert count_violations([0, 1, 2], [frozenset({0, 2})]) == 1
+        assert count_violations([0, 2, 1], [frozenset({0, 2})]) == 0
+
+    def test_greedy_subset_keeps_everything_on_c1p_input(self):
+        rng = random.Random(7)
+        inst = random_c1p_ensemble(10, 8, rng)
+        kept, discarded, order = greedy_c1p_clone_subset(inst.ensemble)
+        assert discarded == []
+        assert len(kept) == inst.ensemble.num_columns
+        assert count_violations(order, inst.ensemble.columns) == 0
+
+    def test_greedy_subset_discards_conflicts(self):
+        ens = Ensemble((0, 1, 2), (frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})))
+        kept, discarded, order = greedy_c1p_clone_subset(ens)
+        assert len(discarded) == 1
+        assert count_violations(order, [ens.columns[i] for i in kept]) == 0
+
+    def test_local_search_finds_exact_solution_when_c1p(self):
+        rng = random.Random(8)
+        inst = random_c1p_ensemble(9, 7, rng)
+        order, violations = local_search_order(inst.ensemble, rng)
+        assert violations == 0
+        assert count_violations(order, inst.ensemble.columns) == 0
+
+    def test_local_search_improves_random_start(self):
+        ens = Ensemble(
+            tuple(range(6)),
+            (frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2}), frozenset({3, 4})),
+        )
+        rng = random.Random(9)
+        order, violations = local_search_order(ens, rng, max_iterations=500)
+        assert violations <= 1  # only the triangle conflict can remain
+
+
+@given(
+    num_sts=st.integers(min_value=3, max_value=25),
+    num_clones=st.integers(min_value=1, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_error_free_libraries_always_assemble(num_sts, num_clones, seed):
+    rng = random.Random(seed)
+    lib = generate_clone_library(num_sts, num_clones, rng)
+    result = assemble_physical_map(lib)
+    assert result.consistent
+    assert map_accuracy(lib, result.sts_order) == 1.0

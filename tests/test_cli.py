@@ -1,0 +1,69 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, parse_matrix_text
+
+
+class TestParsing:
+    def test_parse_whitespace_and_commas(self):
+        text = "1 0 1\n0,1,0\n"
+        assert parse_matrix_text(text) == [[1, 0, 1], [0, 1, 0]]
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\n1 0  # trailing\n0 1\n"
+        assert parse_matrix_text(text) == [[1, 0], [0, 1]]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(SystemExit):
+            parse_matrix_text("1 2\n")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(SystemExit):
+            parse_matrix_text("1 0\n1\n")
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(SystemExit):
+            parse_matrix_text("# nothing\n")
+
+
+class TestMain:
+    def test_demo_runs_and_reports_an_order(self, capsys):
+        assert main(["--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "consecutive-ones property" in out
+        assert "row order:" in out
+
+    def test_quiet_mode_prints_only_the_order(self, capsys):
+        assert main(["--demo", "--quiet"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+        assert len(out[0].split()) == 5
+
+    def test_file_input_and_column_mode(self, tmp_path, capsys):
+        path = tmp_path / "m.txt"
+        path.write_text("1 1 0\n0 1 1\n")
+        assert main([str(path), "--columns"]) == 0
+        assert "column order" in capsys.readouterr().out
+
+    def test_negative_instance_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "m.txt"
+        # the triangle configuration: pairwise adjacency is impossible on a path
+        path.write_text("1 1 0\n0 1 1\n1 0 1\n")
+        assert main([str(path), "--columns"]) == 1
+        assert "NOT" in capsys.readouterr().out
+
+    def test_circular_mode_accepts_the_triangle(self, tmp_path, capsys):
+        path = tmp_path / "m.txt"
+        path.write_text("1 1 0\n0 1 1\n1 0 1\n")
+        assert main([str(path), "--columns", "--circular"]) == 0
+        assert "circular-ones" in capsys.readouterr().out
+
+    def test_stdin_input(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("1 0\n1 1\n"))
+        assert main(["-", "--quiet"]) == 0
+        assert capsys.readouterr().out.strip()

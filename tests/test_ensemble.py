@@ -1,0 +1,199 @@
+"""Tests for the ensemble container and layout verification helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ensemble import (
+    Ensemble,
+    is_circular_consecutive,
+    is_consecutive,
+    verify_circular_layout,
+    verify_linear_layout,
+)
+from repro.errors import InvalidEnsembleError
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ens = Ensemble(("a", "b", "c"), (frozenset({"a", "b"}), frozenset({"c"})))
+        assert ens.num_atoms == 3
+        assert ens.num_columns == 2
+        assert ens.total_size == 3
+        assert ens.column_names == ("c0", "c1")
+
+    def test_duplicate_atoms_rejected(self):
+        with pytest.raises(InvalidEnsembleError):
+            Ensemble(("a", "a"), ())
+
+    def test_unknown_atom_in_column_rejected(self):
+        with pytest.raises(InvalidEnsembleError):
+            Ensemble(("a",), (frozenset({"b"}),))
+
+    def test_column_name_mismatch_rejected(self):
+        with pytest.raises(InvalidEnsembleError):
+            Ensemble(("a",), (frozenset({"a"}),), ("x", "y"))
+
+    def test_from_columns_infers_atoms(self):
+        ens = Ensemble.from_columns([{2, 3}, {1, 2}])
+        assert ens.atoms == (1, 2, 3)
+        assert ens.num_columns == 2
+
+    def test_from_columns_with_explicit_atoms(self):
+        ens = Ensemble.from_columns([{1}], atoms=(3, 2, 1))
+        assert ens.atoms == (3, 2, 1)
+
+    def test_to_matrix_round_trip(self):
+        ens = Ensemble((0, 1, 2), (frozenset({0, 2}), frozenset({1})))
+        mat = ens.to_matrix()
+        assert mat == [[1, 0], [0, 1], [1, 0]]
+
+    def test_relabel(self):
+        ens = Ensemble((0, 1), (frozenset({0, 1}),))
+        renamed = ens.relabel({0: "x", 1: "y"})
+        assert renamed.atoms == ("x", "y")
+        assert renamed.columns[0] == frozenset({"x", "y"})
+
+
+class TestRestriction:
+    def test_restrict_drops_empty_columns(self):
+        ens = Ensemble((0, 1, 2, 3), (frozenset({0, 1}), frozenset({2, 3})))
+        sub = ens.restrict({0, 1})
+        assert sub.atoms == (0, 1)
+        assert sub.columns == (frozenset({0, 1}),)
+
+    def test_restrict_keeps_empty_when_asked(self):
+        ens = Ensemble((0, 1, 2), (frozenset({2}),))
+        sub = ens.restrict({0, 1}, drop_empty=False)
+        assert sub.columns == (frozenset(),)
+
+    def test_restrict_unknown_atom(self):
+        ens = Ensemble((0,), ())
+        with pytest.raises(InvalidEnsembleError):
+            ens.restrict({5})
+
+    def test_restrict_preserves_atom_order(self):
+        ens = Ensemble((3, 1, 2), ())
+        sub = ens.restrict({1, 3})
+        assert sub.atoms == (3, 1)
+
+
+class TestComponents:
+    def test_single_component(self):
+        ens = Ensemble((0, 1, 2), (frozenset({0, 1}), frozenset({1, 2})))
+        assert len(ens.components()) == 1
+        assert ens.is_connected()
+
+    def test_two_components_and_isolated_atom(self):
+        ens = Ensemble((0, 1, 2, 3, 4), (frozenset({0, 1}), frozenset({2, 3})))
+        comps = ens.components()
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+        assert not ens.is_connected()
+
+    def test_overlap_components(self):
+        ens = Ensemble(
+            (0, 1, 2, 3),
+            (frozenset({0, 1}), frozenset({1, 2}), frozenset({3})),
+        )
+        comps = ens.overlap_components()
+        assert sorted(len(c) for c in comps) == [1, 2]
+
+
+class TestTrivialAndDuplicates:
+    def test_drop_trivial(self):
+        ens = Ensemble((0, 1, 2), (frozenset({0}), frozenset({0, 1})))
+        cleaned = ens.drop_trivial_columns()
+        assert cleaned.columns == (frozenset({0, 1}),)
+
+    def test_drop_full(self):
+        ens = Ensemble((0, 1), (frozenset({0, 1}),))
+        cleaned = ens.drop_trivial_columns(drop_full=True)
+        assert cleaned.columns == ()
+
+    def test_deduplicate(self):
+        ens = Ensemble((0, 1), (frozenset({0, 1}), frozenset({0, 1})))
+        assert ens.deduplicate_columns().num_columns == 1
+
+
+class TestTuckerTransform:
+    def test_adds_new_atom_and_complements_big_columns(self):
+        ens = Ensemble(tuple(range(6)), (frozenset(range(5)), frozenset({0, 1})))
+        out = ens.tucker_transform("r")
+        assert out.num_atoms == 7
+        assert "r" in out.atoms
+        # the big column (5 of 7 > 2*7/3? 5 > 4.67 yes) is complemented
+        assert frozenset({5, "r"}) in out.columns
+        assert frozenset({0, 1}) in out.columns
+
+    def test_rejects_existing_atom(self):
+        ens = Ensemble(("r",), ())
+        with pytest.raises(InvalidEnsembleError):
+            ens.tucker_transform("r")
+
+
+class TestVerification:
+    def test_is_consecutive(self):
+        assert is_consecutive([1, 2, 3, 4], {2, 3})
+        assert not is_consecutive([1, 2, 3, 4], {1, 3})
+        assert is_consecutive([1, 2, 3], {2})
+        assert is_consecutive([1, 2, 3], set())
+
+    def test_is_consecutive_missing_atom(self):
+        assert not is_consecutive([1, 2], {2, 3})
+
+    def test_is_circular_consecutive_wraps(self):
+        assert is_circular_consecutive([1, 2, 3, 4], {4, 1})
+        assert is_circular_consecutive([1, 2, 3, 4], {3, 4, 1})
+        assert not is_circular_consecutive([1, 2, 3, 4], {1, 3})
+
+    def test_verify_linear_layout(self):
+        ens = Ensemble((0, 1, 2), (frozenset({0, 1}),))
+        assert verify_linear_layout(ens, (2, 1, 0))
+        assert not verify_linear_layout(ens, (1, 2, 0))
+        assert not verify_linear_layout(ens, (0, 1))  # not a permutation
+
+    def test_verify_circular_layout(self):
+        ens = Ensemble((0, 1, 2, 3), (frozenset({3, 0}),))
+        assert verify_circular_layout(ens, (0, 1, 2, 3))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_every_interval_is_consecutive(n, seed):
+    """Intervals of any order are consecutive in it; shuffles usually are not."""
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    lo = rng.randrange(n)
+    hi = rng.randrange(lo, n)
+    interval = set(order[lo : hi + 1])
+    assert is_consecutive(order, interval)
+    assert is_circular_consecutive(order, interval) or len(interval) in (0, n)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    k=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_restrict_is_projection(n, k, seed):
+    """Restricting twice to nested subsets equals restricting once."""
+    rng = random.Random(seed)
+    cols = tuple(
+        frozenset(a for a in range(n) if rng.random() < 0.5) for _ in range(k)
+    )
+    ens = Ensemble(tuple(range(n)), cols)
+    big = {a for a in range(n) if rng.random() < 0.8}
+    small = {a for a in big if rng.random() < 0.6}
+    once = ens.restrict(small)
+    twice = ens.restrict(big).restrict(small)
+    assert once.atoms == twice.atoms
+    assert sorted(once.columns, key=sorted) == sorted(twice.columns, key=sorted)

@@ -1,0 +1,164 @@
+"""Tests for the instance generators and the brute-force oracles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bruteforce import (
+    all_valid_orders,
+    brute_force_cycle_order,
+    brute_force_has_c1p,
+    brute_force_has_circular_ones,
+    brute_force_path_order,
+)
+from repro.ensemble import Ensemble, verify_circular_layout, verify_linear_layout
+from repro.generators import (
+    non_c1p_ensemble,
+    random_c1p_ensemble,
+    random_circular_ensemble,
+    random_ensemble,
+    shuffle_ensemble,
+    tucker_m1,
+    tucker_m2,
+    tucker_m3,
+    tucker_m4,
+    tucker_m5,
+)
+
+
+class TestGenerators:
+    def test_planted_instance_ground_truth_is_valid(self):
+        rng = random.Random(1)
+        inst = random_c1p_ensemble(12, 10, rng)
+        assert inst.is_c1p is True
+        assert verify_linear_layout(inst.ensemble, inst.planted_order)
+
+    def test_planted_sizes(self):
+        rng = random.Random(2)
+        inst = random_c1p_ensemble(9, 14, rng, min_len=3, max_len=5)
+        assert inst.ensemble.num_atoms == 9
+        assert inst.ensemble.num_columns == 14
+        assert all(3 <= len(c) <= 5 for c in inst.ensemble.columns)
+
+    def test_planted_requires_positive_atoms(self):
+        with pytest.raises(ValueError):
+            random_c1p_ensemble(0, 3)
+
+    def test_circular_instance_wraps(self):
+        rng = random.Random(3)
+        inst = random_circular_ensemble(8, 20, rng, min_len=3, max_len=5)
+        # the hidden circular order realizes every column circularly
+        assert verify_circular_layout(
+            Ensemble(inst.planted_order, inst.ensemble.columns), inst.planted_order
+        )
+
+    def test_random_ensemble_density(self):
+        rng = random.Random(4)
+        ens = random_ensemble(20, 30, density=0.0, rng=rng)
+        assert all(len(c) == 0 for c in ens.columns)
+        ens = random_ensemble(20, 30, density=1.0, rng=rng)
+        assert all(len(c) == 20 for c in ens.columns)
+
+    def test_shuffle_preserves_structure(self):
+        rng = random.Random(5)
+        ens = random_ensemble(8, 6, rng=rng)
+        shuffled = shuffle_ensemble(ens, rng)
+        assert sorted(map(sorted, map(list, shuffled.columns))) == sorted(
+            map(sorted, map(list, ens.columns))
+        )
+        assert sorted(shuffled.atoms) == sorted(ens.atoms)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_tucker_m1_shape(self, k):
+        ens = tucker_m1(k)
+        assert ens.num_atoms == k + 2
+        assert ens.num_columns == k + 2
+        assert all(len(c) == 2 for c in ens.columns)
+
+    @pytest.mark.parametrize("factory,k", [(tucker_m2, 1), (tucker_m2, 2), (tucker_m3, 1), (tucker_m3, 3)])
+    def test_tucker_m2_m3_are_not_c1p(self, factory, k):
+        assert not brute_force_has_c1p(factory(k))
+
+    def test_tucker_fixed_configurations(self):
+        assert not brute_force_has_c1p(tucker_m4())
+        assert not brute_force_has_c1p(tucker_m5())
+
+    def test_tucker_validates_k(self):
+        with pytest.raises(ValueError):
+            tucker_m1(0)
+        with pytest.raises(ValueError):
+            tucker_m2(0)
+
+    def test_non_c1p_generator_embeds_core(self):
+        rng = random.Random(6)
+        inst = non_c1p_ensemble(15, 10, rng, core="m1", core_k=2)
+        assert inst.is_c1p is False
+        assert inst.ensemble.num_atoms == 15
+        # the core atoms appear and keep their columns
+        core = tucker_m1(2)
+        for col in core.columns:
+            assert col in inst.ensemble.columns
+
+    def test_non_c1p_generator_grows_small_inputs(self):
+        rng = random.Random(7)
+        inst = non_c1p_ensemble(2, 3, rng, core="m4")
+        assert inst.ensemble.num_atoms >= tucker_m4().num_atoms
+
+    def test_non_c1p_generator_rejects_unknown_core(self):
+        with pytest.raises(ValueError):
+            non_c1p_ensemble(10, 5, core="nope")
+
+
+class TestBruteForce:
+    def test_path_order_on_tiny_instances(self):
+        ens = Ensemble((0, 1, 2), (frozenset({0, 2}),))
+        order = brute_force_path_order(ens)
+        assert order is not None
+        assert verify_linear_layout(ens, order)
+
+    def test_path_order_reports_none(self):
+        ens = Ensemble((0, 1, 2), (frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})))
+        assert brute_force_path_order(ens) is None
+        assert not brute_force_has_c1p(ens)
+
+    def test_cycle_order(self):
+        ens = tucker_m1(2)
+        order = brute_force_cycle_order(ens)
+        assert order is not None
+        assert verify_circular_layout(ens, order)
+        assert brute_force_has_circular_ones(ens)
+
+    def test_size_guard(self):
+        big = Ensemble(tuple(range(12)), ())
+        with pytest.raises(ValueError):
+            brute_force_path_order(big)
+
+    def test_all_valid_orders_are_valid_and_complete(self):
+        ens = Ensemble((0, 1, 2), (frozenset({0, 1}),))
+        orders = all_valid_orders(ens)
+        assert all(verify_linear_layout(ens, o) for o in orders)
+        # 0 and 1 adjacent: 2 positions for the pair * 2 internal orders * ... = 4
+        assert len(orders) == 4
+
+    def test_c1p_implies_circular_ones(self):
+        rng = random.Random(8)
+        for _ in range(10):
+            ens = random_ensemble(6, 5, density=0.4, rng=rng)
+            if brute_force_has_c1p(ens):
+                assert brute_force_has_circular_ones(ens)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=7),
+    m=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_planted_instances_accepted_by_brute_force(n, m, seed):
+    rng = random.Random(seed)
+    inst = random_c1p_ensemble(n, m, rng)
+    assert brute_force_has_c1p(inst.ensemble)

@@ -1,0 +1,231 @@
+"""Tests for the multigraph substrate and connectivity algorithms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    MultiGraph,
+    articulation_points,
+    biconnected_components,
+    connected_components,
+    find_two_separation,
+    is_biconnected,
+    is_connected,
+    is_triconnected,
+)
+
+
+def cycle_graph(n: int) -> MultiGraph:
+    g = MultiGraph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+def path_graph(n: int) -> MultiGraph:
+    g = MultiGraph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def complete_graph(n: int) -> MultiGraph:
+    g = MultiGraph()
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j)
+    return g
+
+
+class TestMultiGraph:
+    def test_add_and_query(self):
+        g = MultiGraph()
+        e = g.add_edge("a", "b", kind="path", label=7)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.edge(e).label == 7
+        assert g.edge(e).other("a") == "b"
+        assert list(g.neighbors("a")) == ["b"]
+
+    def test_self_loop_rejected(self):
+        g = MultiGraph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "a")
+
+    def test_duplicate_eid_rejected(self):
+        g = MultiGraph()
+        g.add_edge(0, 1, eid=5)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, eid=5)
+
+    def test_remove_edge(self):
+        g = MultiGraph()
+        e = g.add_edge(0, 1)
+        g.remove_edge(e)
+        assert g.num_edges == 0
+        with pytest.raises(GraphError):
+            g.edge(e)
+
+    def test_parallel_edges(self):
+        g = MultiGraph()
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        assert len(g.edges_between(0, 1)) == 2
+        assert g.degree(0) == 2
+
+    def test_copy_is_independent(self):
+        g = MultiGraph()
+        g.add_edge(0, 1)
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert h.num_edges == 2
+
+    def test_subgraph_preserves_ids(self):
+        g = MultiGraph()
+        a = g.add_edge(0, 1)
+        b = g.add_edge(1, 2)
+        sub = g.subgraph_from_edges([b])
+        assert sub.edge_ids() == [b]
+        assert a not in sub
+
+    def test_is_bond_and_polygon(self):
+        bond = MultiGraph()
+        bond.add_edge(0, 1)
+        bond.add_edge(0, 1)
+        assert bond.is_bond()
+        assert not bond.is_polygon()
+        tri = cycle_graph(3)
+        assert tri.is_polygon()
+        assert not tri.is_bond()
+        assert not path_graph(3).is_polygon()
+
+    def test_polygon_cycle_order(self):
+        tri = cycle_graph(4)
+        order = tri.polygon_cycle_order()
+        assert sorted(order) == sorted(tri.edge_ids())
+        # consecutive edges in the reported order share a vertex
+        for i in range(len(order)):
+            e1 = tri.edge(order[i])
+            e2 = tri.edge(order[(i + 1) % len(order)])
+            assert e1.endpoints() & e2.endpoints()
+
+
+class TestConnectivity:
+    def test_connected_components(self):
+        g = MultiGraph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        g.add_vertex(4)
+        comps = connected_components(g)
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+        assert not is_connected(g)
+
+    def test_skip_vertices(self):
+        g = path_graph(5)
+        comps = connected_components(g, skip_vertices=(2,))
+        assert sorted(len(c) for c in comps) == [2, 2]
+
+    def test_articulation_points_path(self):
+        g = path_graph(5)
+        assert articulation_points(g) == {1, 2, 3}
+
+    def test_articulation_points_cycle(self):
+        assert articulation_points(cycle_graph(5)) == set()
+
+    def test_articulation_with_parallel_edges(self):
+        g = MultiGraph()
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        # vertex 1 is still a cut vertex (removing it separates 0 from 2)
+        assert articulation_points(g) == {1}
+
+    def test_is_biconnected(self):
+        assert is_biconnected(cycle_graph(4))
+        assert not is_biconnected(path_graph(4))
+        two = MultiGraph()
+        two.add_edge(0, 1)
+        assert is_biconnected(two)
+
+    def test_biconnected_components_partition_edges(self):
+        # two triangles sharing a single vertex
+        g = MultiGraph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 0)
+        g.add_edge(2, 3)
+        g.add_edge(3, 4)
+        g.add_edge(4, 2)
+        blocks = biconnected_components(g)
+        assert len(blocks) == 2
+        assert sorted(len(b) for b in blocks) == [3, 3]
+        assert sorted(e for b in blocks for e in b) == sorted(g.edge_ids())
+
+
+class TestTwoSeparation:
+    def test_cycle_has_none(self):
+        assert find_two_separation(cycle_graph(5)) is None
+
+    def test_k4_is_triconnected(self):
+        assert find_two_separation(complete_graph(4)) is None
+        assert is_triconnected(complete_graph(4))
+
+    def test_bond_separation(self):
+        g = cycle_graph(3)
+        extra = g.add_edge(0, 1)
+        sep = find_two_separation(g)
+        assert sep is not None
+        sides = {frozenset(sep.side), sep.other_side(g)}
+        assert any(extra in side and len(side) == 2 for side in sides)
+
+    def test_two_triangles_sharing_an_edge(self):
+        g = MultiGraph()
+        g.add_edge(0, 1)  # shared edge
+        g.add_edge(0, 2)
+        g.add_edge(1, 2)
+        g.add_edge(0, 3)
+        g.add_edge(1, 3)
+        sep = find_two_separation(g)
+        assert sep is not None
+        assert {sep.u, sep.v} == {0, 1}
+
+    def test_not_triconnected_small(self):
+        assert not is_triconnected(cycle_graph(4))
+        bond = MultiGraph()
+        bond.add_edge(0, 1)
+        bond.add_edge(0, 1)
+        bond.add_edge(0, 1)
+        assert not is_triconnected(bond)
+
+
+@given(
+    n=st.integers(min_value=4, max_value=9),
+    extra=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_cycle_plus_chords_is_biconnected(n, extra, seed):
+    """A cycle with random chords is always 2-connected, and any found
+    2-separation really does split the edges into sides sharing 2 vertices."""
+    rng = random.Random(seed)
+    g = cycle_graph(n)
+    for _ in range(extra):
+        u, v = rng.sample(range(n), 2)
+        g.add_edge(u, v)
+    assert is_biconnected(g)
+    sep = find_two_separation(g)
+    if sep is not None:
+        side = set(sep.side)
+        other = set(g.edge_ids()) - side
+        assert len(side) >= 2 and len(other) >= 2
+        vs = {x for e in side for x in (g.edge(e).u, g.edge(e).v)}
+        vo = {x for e in other for x in (g.edge(e).u, g.edge(e).v)}
+        assert vs & vo == {sep.u, sep.v}

@@ -1,0 +1,200 @@
+"""Cross-module integration and stress tests.
+
+These exercise the whole stack together on larger and structurally diverse
+instances: the divide-and-conquer solver against the PQ-tree baseline on
+medium random matrices, circular-ones consistency, matrix round trips, the
+parallel schedule on application workloads, and failure-injection cases
+(duplicate columns, isolated atoms, columns equal to the full set, unhashable
+corner cases).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BinaryMatrix
+from repro.core import SolverStats, cycle_realization, path_realization
+from repro.ensemble import (
+    Ensemble,
+    verify_circular_layout,
+    verify_linear_layout,
+)
+from repro.generators import (
+    non_c1p_ensemble,
+    random_c1p_ensemble,
+    random_ensemble,
+    shuffle_ensemble,
+)
+from repro.pqtree import pqtree_consecutive_ones_order, pqtree_has_c1p
+from repro.pram import parallel_path_realization
+
+
+class TestSolverVsPQTreeMediumScale:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agreement_on_random_matrices(self, seed):
+        rng = random.Random(20_000 + seed)
+        n = rng.randint(10, 24)
+        m = rng.randint(5, 30)
+        ens = random_ensemble(n, m, density=rng.uniform(0.15, 0.5), rng=rng)
+        ours = path_realization(ens)
+        theirs = pqtree_consecutive_ones_order(ens)
+        assert (ours is None) == (theirs is None)
+        if ours is not None:
+            assert verify_linear_layout(ens, ours)
+            assert verify_linear_layout(ens, theirs)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement_on_sparse_interval_like_matrices(self, seed):
+        rng = random.Random(30_000 + seed)
+        inst = random_c1p_ensemble(40, 60, rng, min_len=2, max_len=6)
+        # flip one random membership: the instance may or may not stay C1P,
+        # but both implementations must agree on the verdict
+        cols = list(inst.ensemble.columns)
+        idx = rng.randrange(len(cols))
+        atom = rng.randrange(40)
+        col = set(cols[idx])
+        col.symmetric_difference_update({atom})
+        cols[idx] = frozenset(col)
+        ens = Ensemble(inst.ensemble.atoms, tuple(cols))
+        assert (path_realization(ens) is None) == (not pqtree_has_c1p(ens))
+
+
+class TestStructuralEdgeCases:
+    def test_duplicate_and_trivial_columns_do_not_matter(self):
+        rng = random.Random(1)
+        inst = random_c1p_ensemble(15, 10, rng)
+        noisy_cols = inst.ensemble.columns + inst.ensemble.columns + (
+            frozenset(),
+            frozenset({inst.ensemble.atoms[0]}),
+            frozenset(inst.ensemble.atoms),
+        )
+        noisy = Ensemble(inst.ensemble.atoms, noisy_cols)
+        order = path_realization(noisy)
+        assert order is not None
+        assert verify_linear_layout(noisy, order)
+
+    def test_isolated_atoms_are_placed(self):
+        ens = Ensemble(tuple(range(8)), (frozenset({1, 2}), frozenset({2, 3})))
+        order = path_realization(ens)
+        assert sorted(order) == list(range(8))
+        assert verify_linear_layout(ens, order)
+
+    def test_string_and_tuple_atoms(self):
+        ens = Ensemble(
+            ("a", ("b", 1), "c", 7),
+            (frozenset({"a", ("b", 1)}), frozenset({("b", 1), "c"})),
+        )
+        order = path_realization(ens)
+        assert order is not None
+        assert verify_linear_layout(ens, order)
+
+    def test_single_column_covering_everything(self):
+        ens = Ensemble(tuple(range(5)), (frozenset(range(5)),))
+        assert path_realization(ens) is not None
+
+    def test_every_pair_column_chain(self):
+        n = 30
+        ens = Ensemble(tuple(range(n)), tuple(frozenset({i, i + 1}) for i in range(n - 1)))
+        order = path_realization(ens)
+        assert order == list(range(n)) or order == list(range(n - 1, -1, -1))
+
+    def test_nested_columns_tower(self):
+        n = 20
+        cols = tuple(frozenset(range(i)) for i in range(2, n + 1))
+        ens = Ensemble(tuple(range(n)), cols)
+        order = path_realization(ens)
+        assert order is not None
+        assert verify_linear_layout(ens, order)
+
+    def test_large_non_c1p_is_rejected(self):
+        rng = random.Random(3)
+        inst = non_c1p_ensemble(40, 30, rng, core="m3", core_k=4)
+        assert path_realization(inst.ensemble) is None
+
+
+class TestCircularConsistency:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_path_graphic_implies_cycle_graphic(self, seed):
+        rng = random.Random(40_000 + seed)
+        inst = random_c1p_ensemble(rng.randint(5, 20), rng.randint(3, 20), rng)
+        circ = cycle_realization(inst.ensemble)
+        assert circ is not None
+        assert verify_circular_layout(inst.ensemble, circ)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cut_cycle_columns_stay_circular(self, seed):
+        """Cutting any circular realization at an uncovered gap gives a path
+        realization of the columns not spanning that gap."""
+        rng = random.Random(50_000 + seed)
+        inst = random_c1p_ensemble(rng.randint(6, 15), rng.randint(3, 12), rng)
+        circ = cycle_realization(inst.ensemble)
+        # rotating a circular layout keeps it circular
+        for shift in (1, len(circ) // 2):
+            rotated = circ[shift:] + circ[:shift]
+            assert verify_circular_layout(inst.ensemble, rotated)
+
+
+class TestMatrixPipeline:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_full_matrix_round_trip(self, seed):
+        rng = random.Random(60_000 + seed)
+        inst = random_c1p_ensemble(20, 15, rng)
+        matrix = BinaryMatrix.from_ensemble(inst.ensemble)
+        order = path_realization(matrix.row_ensemble())
+        permuted = matrix.permute_rows(order)
+        assert permuted.columns_are_consecutive()
+        # the column ensemble of the transposed data is solvable too
+        transposed = BinaryMatrix(matrix.data.T)
+        col_order = path_realization(transposed.column_ensemble())
+        assert col_order is not None
+
+
+class TestParallelScheduleIntegration:
+    def test_schedule_on_physical_mapping_workload(self):
+        from repro.apps import generate_clone_library
+
+        rng = random.Random(77)
+        library = generate_clone_library(48, 72, rng, mean_clone_length=6)
+        report = parallel_path_realization(library.ensemble())
+        assert report.order is not None
+        assert report.levels >= 3
+        # work is never below depth, processors never below 1
+        assert report.work >= report.depth
+        assert report.implied_processors() >= 1
+
+    def test_stats_and_schedule_agree_on_level_count(self):
+        rng = random.Random(78)
+        inst = random_c1p_ensemble(64, 48, rng)
+        stats = SolverStats()
+        assert path_realization(inst.ensemble, stats) is not None
+        report = parallel_path_realization(inst.ensemble)
+        assert report.levels == stats.max_depth + 1
+
+
+@given(
+    n=st.integers(min_value=3, max_value=12),
+    m=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_solver_and_pqtree_agree(n, m, seed):
+    rng = random.Random(seed)
+    ens = random_ensemble(n, m, density=0.35, rng=rng)
+    assert (path_realization(ens) is not None) == pqtree_has_c1p(ens)
+
+
+@given(
+    n=st.integers(min_value=3, max_value=12),
+    m=st.integers(min_value=1, max_value=14),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_answer_invariant_under_relabelling(n, m, seed):
+    rng = random.Random(seed)
+    ens = random_ensemble(n, m, density=0.4, rng=rng)
+    relabelled = shuffle_ensemble(ens, rng).relabel({a: f"atom-{a}" for a in ens.atoms})
+    assert (path_realization(ens) is None) == (path_realization(relabelled) is None)

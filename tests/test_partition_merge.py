@@ -1,0 +1,221 @@
+"""Unit tests for the divide step (Section 3.2) and the combine step internals."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gp import RealizationGraph, interval_of, is_prefix_or_suffix
+from repro.core.instrument import SolverStats
+from repro.core.merge import (
+    _common_vertex_candidates,
+    _feasible_split_positions,
+    anchored_candidates,
+    merge_cycle,
+)
+from repro.core.partition import (
+    PartitionDecision,
+    choose_partition,
+    grow_connected_collection,
+)
+from repro.core import path_realization
+from repro.errors import GraphError
+from repro.generators import random_c1p_ensemble
+
+
+class TestPartition:
+    def test_case1_prefers_balanced_column(self):
+        atoms = list(range(9))
+        columns = [frozenset({0, 1, 2}), frozenset({0, 1, 2, 3})]
+        decision = choose_partition(atoms, columns)
+        assert decision.kind == "split"
+        assert decision.case == "case1"
+        # size 4 is closer to 9/2 than size 3
+        assert decision.segment == frozenset({0, 1, 2, 3})
+
+    def test_case2a_grows_connected_collection(self):
+        atoms = list(range(12))
+        columns = [frozenset({i, i + 1}) for i in range(11)]
+        decision = choose_partition(atoms, columns)
+        assert decision.kind == "split"
+        assert decision.case == "case2a"
+        assert 12 / 3 < len(decision.segment) <= 2 * 12 / 3 + 1
+
+    def test_case2b_requests_circular_transform(self):
+        atoms = list(range(9))
+        columns = [frozenset(range(7)), frozenset({0, 1})]
+        decision = choose_partition(atoms, columns)
+        assert decision.kind == "circular"
+        assert decision.case == "case2b"
+
+    def test_grow_connected_collection_none_when_components_small(self):
+        atoms = list(range(30))
+        columns = [frozenset({0, 1}), frozenset({5, 6})]
+        assert grow_connected_collection(atoms, columns) is None
+
+    def test_segment_balance_invariant(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            inst = random_c1p_ensemble(rng.randint(6, 30), rng.randint(3, 25), rng)
+            ens = inst.ensemble
+            columns = [c for c in ens.columns if 1 < len(c) < ens.num_atoms]
+            if not columns:
+                continue
+            decision = choose_partition(list(ens.atoms), columns)
+            if decision.kind != "split":
+                continue
+            size = len(decision.segment)
+            n = ens.num_atoms
+            assert 3 * size >= n - 2
+            assert 3 * size <= 2 * n + 2
+
+
+class TestGPRealization:
+    def test_interval_of(self):
+        assert interval_of([3, 1, 4, 1j, 5], {1, 4}) == (1, 2)
+        with pytest.raises(GraphError):
+            interval_of([0, 1, 2], {0, 2})
+        with pytest.raises(GraphError):
+            interval_of([0, 1], {7})
+
+    def test_is_prefix_or_suffix(self):
+        assert is_prefix_or_suffix([0, 1, 2, 3], {0, 1})
+        assert is_prefix_or_suffix([0, 1, 2, 3], {2, 3})
+        assert not is_prefix_or_suffix([0, 1, 2, 3], {1, 2})
+        assert not is_prefix_or_suffix([0, 1, 2, 3], {0, 2})
+        assert is_prefix_or_suffix([0, 1], set())
+
+    def test_graph_shape(self):
+        real = RealizationGraph([0, 1, 2, 3], [frozenset({1, 2})])
+        # 4 path edges + e + one chord
+        assert real.graph.num_edges == 6
+        assert real.chord_for({1, 2}) != real.e_eid
+        assert real.chord_for({0, 1, 2, 3}) == real.e_eid
+
+    def test_order_round_trip(self):
+        real = RealizationGraph([5, 7, 2, 9], [frozenset({7, 2})])
+        assert real.order_from(real.graph) == [5, 7, 2, 9]
+
+    def test_duplicate_intervals_share_a_chord(self):
+        real = RealizationGraph([0, 1, 2], [frozenset({0, 1}), frozenset({0, 1})])
+        assert len(real.chord_eids()) == 1
+
+
+class TestMergeInternals:
+    def test_feasible_split_positions_type_b(self):
+        order = [0, 1, 2, 3]
+        positions = _feasible_split_positions(order, [], [{1, 2}], [])
+        assert positions == [1, 3]
+
+    def test_feasible_split_positions_type_a_and_c(self):
+        order = [0, 1, 2, 3, 4]
+        positions = _feasible_split_positions(
+            order, [{1, 2}], [], [frozenset({3, 4})]
+        )
+        # type-a {1,2} allows w in 1..3, type-c {3,4} forbids w == 4 (inside)
+        assert positions == [1, 2, 3]
+
+    def test_feasible_split_positions_conflict(self):
+        order = [0, 1, 2, 3]
+        # {0,1} forces w in {0,2}; {1,2} forces w in {1,3}: no common position
+        assert _feasible_split_positions(order, [], [{0, 1}, {1, 2}], []) == []
+
+    def test_anchored_candidates_include_alignment(self):
+        stats = SolverStats()
+        cands = anchored_candidates(
+            [0, 1, 2, 3, 4], [frozenset({2, 3})], [frozenset({2, 3})], stats=stats
+        )
+        assert any(is_prefix_or_suffix(c, {2, 3}) for c in cands)
+        assert stats.tutte_builds >= 1
+
+    def test_anchored_candidates_trivial_cases(self):
+        assert anchored_candidates([0, 1], [], [frozenset({0})]) == [[0, 1]]
+        assert anchored_candidates([0, 1, 2], [], []) == [[0, 1, 2]]
+
+    def test_common_vertex_candidates_returns_original_first(self):
+        cands = _common_vertex_candidates(
+            [0, 1, 2, 3], [frozenset({1, 2})], [frozenset({1, 2}), frozenset({2, 3})]
+        )
+        assert cands[0] == [0, 1, 2, 3]
+
+    def test_merge_cycle_glues_paths(self):
+        # A1 = {0,1,2} ordered, A2 = {3,4,5}; one crossing column {2,3}
+        columns = [frozenset({0, 1}), frozenset({2, 3}), frozenset({4, 5})]
+        circ = merge_cycle([0, 1, 2], [3, 4, 5], columns)
+        assert circ is not None
+        assert sorted(circ) == [0, 1, 2, 3, 4, 5]
+
+    def test_merge_cycle_detects_impossible(self):
+        # three crossing columns all anchored at atom 2's side of A1 but
+        # needing three different junction neighbours in A2: no gluing works
+        columns = [
+            frozenset({2, 3}),
+            frozenset({2, 4}),
+            frozenset({2, 5}),
+        ]
+        result = merge_cycle([0, 1, 2], [3, 4, 5], columns)
+        assert result is None
+
+    def test_merge_cycle_result_is_always_verified(self):
+        columns = [frozenset({1, 2}), frozenset({2, 3}), frozenset({5, 0})]
+        result = merge_cycle([0, 1, 2], [3, 4, 5], columns)
+        if result is not None:
+            from repro.ensemble import is_circular_consecutive
+
+            assert all(is_circular_consecutive(result, c) for c in columns)
+
+
+class TestStatsAndDepth:
+    @pytest.mark.parametrize("n", [20, 60, 120])
+    def test_recursion_depth_is_logarithmic(self, n):
+        rng = random.Random(n)
+        inst = random_c1p_ensemble(n, max(4, n // 2), rng)
+        stats = SolverStats()
+        assert path_realization(inst.ensemble, stats) is not None
+        import math
+
+        assert stats.max_depth <= 4 * math.log2(n) + 6
+
+    def test_split_balance(self):
+        rng = random.Random(13)
+        inst = random_c1p_ensemble(60, 45, rng)
+        stats = SolverStats()
+        path_realization(inst.ensemble, stats)
+        for total, side in stats.splits:
+            assert total / 4 <= side <= 3 * total / 4 + 1
+
+
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_feasible_positions_are_sound(n, seed):
+    """Every reported split position really satisfies the three conditions."""
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+
+    def random_interval():
+        lo = rng.randint(0, n - 1)
+        hi = rng.randint(lo, n - 1)
+        return {order[i] for i in range(lo, hi + 1)}
+
+    type_a = [random_interval() for _ in range(rng.randint(0, 2))]
+    type_b = [random_interval() for _ in range(rng.randint(0, 2))]
+    type_c = [frozenset(random_interval()) for _ in range(rng.randint(0, 2))]
+    positions = _feasible_split_positions(order, type_a, type_b, type_c)
+    pos_of = {a: i for i, a in enumerate(order)}
+    for w in positions:
+        for part in type_b:
+            ps = sorted(pos_of[a] for a in part)
+            assert w == ps[0] or w == ps[-1] + 1
+        for part in type_a:
+            ps = sorted(pos_of[a] for a in part)
+            assert ps[0] <= w <= ps[-1] + 1
+        for col in type_c:
+            ps = sorted(pos_of[a] for a in col)
+            assert not (ps[0] < w < ps[-1] + 1)

@@ -1,0 +1,246 @@
+"""End-to-end tests of the divide-and-conquer C1P solver.
+
+Three independent sources of ground truth are used:
+
+* planted-layout generators (the instance is C1P by construction and any
+  returned order is verified directly against every column),
+* Tucker forbidden configurations (the instance is provably not C1P), and
+* exhaustive brute force on small random instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bruteforce import brute_force_has_c1p, brute_force_has_circular_ones
+from repro.core import (
+    SolverStats,
+    cycle_realization,
+    has_consecutive_ones,
+    path_realization,
+)
+from repro.ensemble import Ensemble, verify_circular_layout, verify_linear_layout
+from repro.generators import (
+    non_c1p_ensemble,
+    random_c1p_ensemble,
+    random_circular_ensemble,
+    random_ensemble,
+    shuffle_ensemble,
+    tucker_m1,
+    tucker_m2,
+    tucker_m3,
+    tucker_m4,
+    tucker_m5,
+)
+
+
+class TestSmallCases:
+    def test_empty_ensemble(self):
+        assert path_realization(Ensemble((), ())) == []
+
+    def test_single_atom(self):
+        assert path_realization(Ensemble((7,), (frozenset({7}),))) == [7]
+
+    def test_two_atoms(self):
+        assert path_realization(Ensemble((1, 2), (frozenset({1, 2}),))) == [1, 2]
+
+    def test_no_constraining_columns(self):
+        ens = Ensemble((0, 1, 2), (frozenset({1}), frozenset({0, 1, 2})))
+        order = path_realization(ens)
+        assert order is not None and sorted(order) == [0, 1, 2]
+
+    def test_simple_positive(self):
+        ens = Ensemble((0, 1, 2, 3), (frozenset({0, 2}), frozenset({2, 3})))
+        order = path_realization(ens)
+        assert order is not None
+        assert verify_linear_layout(ens, order)
+
+    def test_simple_negative(self):
+        # all three pairs of a triangle cannot be simultaneously adjacent
+        ens = Ensemble(
+            (0, 1, 2),
+            (frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})),
+        )
+        assert path_realization(ens) is None
+
+    def test_disconnected_components(self):
+        ens = Ensemble(
+            (0, 1, 2, 3, 4),
+            (frozenset({0, 1}), frozenset({3, 4})),
+        )
+        order = path_realization(ens)
+        assert order is not None
+        assert verify_linear_layout(ens, order)
+
+
+class TestTuckerConfigurations:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_m1_is_rejected(self, k):
+        assert path_realization(tucker_m1(k)) is None
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_m2_is_rejected(self, k):
+        assert path_realization(tucker_m2(k)) is None
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_m3_is_rejected(self, k):
+        assert path_realization(tucker_m3(k)) is None
+
+    def test_m4_is_rejected(self):
+        assert path_realization(tucker_m4()) is None
+
+    def test_m5_is_rejected(self):
+        assert path_realization(tucker_m5()) is None
+
+    def test_tucker_cores_agree_with_brute_force(self):
+        for ens in (tucker_m1(1), tucker_m2(1), tucker_m3(1), tucker_m4(), tucker_m5()):
+            assert not brute_force_has_c1p(ens)
+
+    def test_m1_cores_are_circular(self):
+        # the cycle configuration has circular ones even though it is not C1P
+        ens = tucker_m1(2)
+        order = cycle_realization(ens)
+        assert order is not None
+        assert verify_circular_layout(ens, order)
+
+
+class TestPlantedPositives:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_small_planted(self, seed):
+        rng = random.Random(seed)
+        inst = random_c1p_ensemble(rng.randint(3, 12), rng.randint(1, 15), rng)
+        order = path_realization(inst.ensemble)
+        assert order is not None
+        assert verify_linear_layout(inst.ensemble, order)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_medium_planted(self, seed):
+        rng = random.Random(1000 + seed)
+        inst = random_c1p_ensemble(rng.randint(15, 40), rng.randint(10, 50), rng)
+        order = path_realization(inst.ensemble)
+        assert order is not None
+        assert verify_linear_layout(inst.ensemble, order)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dense_small_columns(self, seed):
+        # many short columns force Case 2a (connected collections)
+        rng = random.Random(50 + seed)
+        inst = random_c1p_ensemble(24, 40, rng, min_len=2, max_len=5)
+        order = path_realization(inst.ensemble)
+        assert order is not None
+        assert verify_linear_layout(inst.ensemble, order)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_long_columns_force_case2b(self, seed):
+        # columns longer than 2n/3 plus short ones force the Tucker transform
+        rng = random.Random(99 + seed)
+        n = 15
+        hidden = list(range(n))
+        rng.shuffle(hidden)
+        cols = [frozenset(hidden[: n - 2])]
+        for _ in range(8):
+            length = rng.randint(2, 4)
+            start = rng.randint(0, n - length)
+            cols.append(frozenset(hidden[start : start + length]))
+        ens = Ensemble(tuple(range(n)), tuple(cols))
+        order = path_realization(ens)
+        assert order is not None
+        assert verify_linear_layout(ens, order)
+
+
+class TestPlantedNegatives:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_embedded_forbidden_core(self, seed):
+        rng = random.Random(seed)
+        core = ("m1", "m2", "m3", "m4")[seed % 4]
+        inst = non_c1p_ensemble(rng.randint(8, 20), rng.randint(4, 15), rng, core=core)
+        assert path_realization(inst.ensemble) is None
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_small_instances(self, seed):
+        rng = random.Random(2000 + seed)
+        n = rng.randint(3, 7)
+        m = rng.randint(1, 7)
+        ens = random_ensemble(n, m, density=rng.uniform(0.25, 0.7), rng=rng)
+        expected = brute_force_has_c1p(ens)
+        order = path_realization(ens)
+        assert (order is not None) == expected
+        if order is not None:
+            assert verify_linear_layout(ens, order)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_small_circular(self, seed):
+        rng = random.Random(3000 + seed)
+        n = rng.randint(3, 7)
+        m = rng.randint(1, 6)
+        ens = random_ensemble(n, m, density=rng.uniform(0.25, 0.7), rng=rng)
+        expected = brute_force_has_circular_ones(ens)
+        order = cycle_realization(ens)
+        assert (order is not None) == expected
+        if order is not None:
+            assert verify_circular_layout(ens, order)
+
+
+class TestCircular:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_planted_circular(self, seed):
+        rng = random.Random(4000 + seed)
+        inst = random_circular_ensemble(rng.randint(4, 15), rng.randint(2, 12), rng)
+        order = cycle_realization(inst.ensemble)
+        assert order is not None
+        assert verify_circular_layout(inst.ensemble, order)
+
+    def test_c1p_implies_circular(self):
+        rng = random.Random(17)
+        inst = random_c1p_ensemble(10, 8, rng)
+        assert cycle_realization(inst.ensemble) is not None
+
+
+class TestStatsInstrumentation:
+    def test_stats_are_recorded(self):
+        rng = random.Random(5)
+        inst = random_c1p_ensemble(30, 25, rng)
+        stats = SolverStats()
+        order = path_realization(inst.ensemble, stats)
+        assert order is not None
+        assert stats.subproblems >= 1
+        assert stats.max_depth >= 1
+        assert all(r >= 1 / 4 for r in stats.balance_ratios())
+
+    def test_decision_helpers(self):
+        rng = random.Random(6)
+        inst = random_c1p_ensemble(8, 6, rng)
+        assert has_consecutive_ones(inst.ensemble)
+
+
+@given(
+    n=st.integers(min_value=3, max_value=14),
+    m=st.integers(min_value=1, max_value=18),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_planted_instances_are_solved(n, m, seed):
+    rng = random.Random(seed)
+    inst = random_c1p_ensemble(n, m, rng)
+    order = path_realization(inst.ensemble)
+    assert order is not None
+    assert verify_linear_layout(inst.ensemble, order)
+
+
+@given(
+    n=st.integers(min_value=3, max_value=10),
+    m=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_shuffling_preserves_the_answer(n, m, seed):
+    rng = random.Random(seed)
+    ens = random_ensemble(n, m, density=0.4, rng=rng)
+    shuffled = shuffle_ensemble(ens, rng)
+    assert (path_realization(ens) is None) == (path_realization(shuffled) is None)

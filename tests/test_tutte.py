@@ -1,0 +1,227 @@
+"""Tests for the Tutte decomposition and its composition."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotTwoConnectedError
+from repro.graph import MultiGraph
+from repro.tutte import ComposeChoices, MemberKind, TutteDecomposition, compose
+from repro.whitney import same_cycle_space
+
+
+def cycle_graph(n: int) -> MultiGraph:
+    g = MultiGraph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+def complete_graph(n: int) -> MultiGraph:
+    g = MultiGraph()
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j)
+    return g
+
+
+def random_ham_cycle_with_chords(n: int, chords: int, seed: int) -> MultiGraph:
+    rng = random.Random(seed)
+    g = cycle_graph(n)
+    for _ in range(chords):
+        u, v = rng.sample(range(n), 2)
+        g.add_edge(u, v, kind="nonpath")
+    return g
+
+
+class TestBuild:
+    def test_polygon_is_single_member(self):
+        deco = TutteDecomposition.build(cycle_graph(5))
+        assert len(deco.members) == 1
+        member = next(iter(deco.members.values()))
+        assert member.kind is MemberKind.POLYGON
+
+    def test_bond_is_single_member(self):
+        g = MultiGraph()
+        for _ in range(4):
+            g.add_edge(0, 1)
+        deco = TutteDecomposition.build(g)
+        assert len(deco.members) == 1
+        assert next(iter(deco.members.values())).kind is MemberKind.BOND
+
+    def test_k4_is_single_rigid_member(self):
+        deco = TutteDecomposition.build(complete_graph(4))
+        assert len(deco.members) == 1
+        assert next(iter(deco.members.values())).kind is MemberKind.RIGID
+
+    def test_rejects_non_biconnected(self):
+        g = MultiGraph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        with pytest.raises(NotTwoConnectedError):
+            TutteDecomposition.build(g)
+
+    def test_two_triangles_sharing_an_edge(self):
+        g = MultiGraph()
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        g.add_edge(1, 2)
+        g.add_edge(0, 3)
+        g.add_edge(1, 3)
+        deco = TutteDecomposition.build(g)
+        kinds = sorted(m.kind.value for m in deco.members.values())
+        assert kinds == ["bond", "polygon", "polygon"]
+        # decomposition tree is a star centred at the bond
+        assert len(deco.marker_links) == 2
+
+    def test_cycle_with_one_chord(self):
+        # a 6-cycle with one chord decomposes into two polygons and a bond
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        deco = TutteDecomposition.build(g)
+        kinds = sorted(m.kind.value for m in deco.members.values())
+        assert kinds == ["bond", "polygon", "polygon"]
+
+    def test_canonical_no_adjacent_same_kind_bond_or_polygon(self):
+        g = random_ham_cycle_with_chords(10, 6, seed=3)
+        deco = TutteDecomposition.build(g)
+        for marker, (ma, mb) in deco.marker_links.items():
+            ka = deco.members[ma].kind
+            kb = deco.members[mb].kind
+            assert not (ka == kb and ka in (MemberKind.BOND, MemberKind.POLYGON))
+
+    def test_edge_to_member_covers_all_edges(self):
+        g = random_ham_cycle_with_chords(8, 4, seed=1)
+        deco = TutteDecomposition.build(g)
+        assert set(deco.edge_to_member) == set(g.edge_ids())
+
+
+class TestTreeStructure:
+    def test_rooted_and_tree_path(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        g.add_edge(1, 4)
+        deco = TutteDecomposition.build(g)
+        root = next(iter(deco.members))
+        parent = deco.rooted(root)
+        assert parent[root] is None
+        assert len(parent) == len(deco.members)
+        for mid in deco.members:
+            path = deco.tree_path(root, mid)
+            assert path[0] == root and path[-1] == mid
+
+    def test_minimal_members_single_edge(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        deco = TutteDecomposition.build(g)
+        some_edge = next(iter(g.edge_ids()))
+        minimal = deco.minimal_members([some_edge])
+        assert minimal == {deco.edge_to_member[some_edge]}
+
+    def test_minimal_members_is_connected_subtree(self):
+        g = random_ham_cycle_with_chords(12, 7, seed=9)
+        deco = TutteDecomposition.build(g)
+        edges = g.edge_ids()[:5]
+        minimal = deco.minimal_members(edges)
+        # every member containing one of the edges is included
+        for eid in edges:
+            assert deco.edge_to_member[eid] in minimal
+        # connectivity: walking the tree restricted to `minimal` reaches all of it
+        start = next(iter(minimal))
+        seen = {start}
+        stack = [start]
+        while stack:
+            mid = stack.pop()
+            for _, other in deco.tree_neighbors(mid):
+                if other in minimal and other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        assert seen == minimal
+
+    def test_subtree_leaves(self):
+        g = cycle_graph(8)
+        g.add_edge(0, 4)
+        g.add_edge(1, 5)
+        deco = TutteDecomposition.build(g)
+        all_members = set(deco.members)
+        root = next(iter(all_members))
+        leaves = deco.subtree_leaves(all_members, root)
+        assert root not in leaves
+        for leaf in leaves:
+            assert len(deco.tree_neighbors(leaf)) == 1 or all(
+                other == deco.rooted(root)[leaf][1]
+                for _, other in deco.tree_neighbors(leaf)
+                if other in all_members
+            )
+
+
+class TestComposition:
+    def test_compose_original_round_trip(self):
+        g = random_ham_cycle_with_chords(9, 5, seed=5)
+        deco = TutteDecomposition.build(g)
+        back = deco.compose_original()
+        assert set(back.edge_ids()) == set(g.edge_ids())
+        for eid in g.edge_ids():
+            assert back.edge(eid).endpoints() == g.edge(eid).endpoints()
+
+    def test_compose_default_is_two_isomorphic(self):
+        g = random_ham_cycle_with_chords(9, 5, seed=7)
+        deco = TutteDecomposition.build(g)
+        composed = compose(deco)
+        assert set(composed.edge_ids()) == set(g.edge_ids())
+        assert same_cycle_space(g, composed)
+
+    def test_compose_with_flipped_orientation_is_two_isomorphic(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        deco = TutteDecomposition.build(g)
+        # flip every marker orientation explicitly
+        choices = ComposeChoices()
+        for marker, (ma, mb) in deco.marker_links.items():
+            ea = deco.members[ma].marker_edge(marker)
+            eb = deco.members[mb].marker_edge(marker)
+            choices.orientations[marker] = ((ma, ea.u), (mb, eb.v))
+        composed = compose(deco, choices)
+        assert same_cycle_space(g, composed)
+
+    def test_compose_with_polygon_relinking_is_two_isomorphic(self):
+        g = cycle_graph(7)
+        g.add_edge(0, 3)
+        deco = TutteDecomposition.build(g)
+        choices = ComposeChoices()
+        for mid, member in deco.members.items():
+            if member.kind is MemberKind.POLYGON:
+                order = member.graph.polygon_cycle_order()
+                choices.polygon_orders[mid] = list(reversed(order))
+        composed = compose(deco, choices)
+        assert same_cycle_space(g, composed)
+
+
+@given(
+    n=st.integers(min_value=4, max_value=10),
+    chords=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_decomposition_invariants(n, chords, seed):
+    """Member typing, marker arity, tree shape and cycle-space preservation."""
+    g = random_ham_cycle_with_chords(n, chords, seed)
+    deco = TutteDecomposition.build(g)
+    summary = deco.summary()
+    assert summary["markers"] == summary["members"] - 1
+    # every real edge in exactly one member
+    assert set(deco.edge_to_member) == set(g.edge_ids())
+    # member kinds are consistent with their graphs
+    for member in deco.members.values():
+        if member.kind is MemberKind.BOND:
+            assert member.graph.is_bond()
+        elif member.kind is MemberKind.POLYGON:
+            assert member.graph.is_polygon()
+        else:
+            assert member.graph.num_vertices >= 4
+    # any composition is 2-isomorphic to the original
+    assert same_cycle_space(g, compose(deco))

@@ -1,0 +1,192 @@
+"""Tests for Whitney switches, 2-isomorphism and the alignment planner."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gp import RealizationGraph
+from repro.errors import GraphError
+from repro.graph import MultiGraph
+from repro.tutte import TutteDecomposition, compose
+from repro.whitney import AlignmentPlanner, same_cycle_space, two_isomorphic, whitney_switch
+from repro.whitney.switches import fundamental_cycles
+
+
+def build_graph(edge_list):
+    g = MultiGraph()
+    for u, v in edge_list:
+        g.add_edge(u, v)
+    return g
+
+
+class TestWhitneySwitch:
+    def test_switch_preserves_cycle_space(self):
+        # two triangles sharing vertices {0, 1}: switching one side keeps cycles
+        g = MultiGraph()
+        e0 = g.add_edge(0, 1)
+        e1 = g.add_edge(0, 2)
+        e2 = g.add_edge(1, 2)
+        e3 = g.add_edge(0, 3)
+        e4 = g.add_edge(1, 3)
+        switched = whitney_switch(g, 0, 1, [e3, e4])
+        assert same_cycle_space(g, switched)
+        assert switched.edge(e3).endpoints() == frozenset({1, 3})
+        assert switched.edge(e4).endpoints() == frozenset({0, 3})
+        assert switched.edge(e0).endpoints() == frozenset({0, 1})
+        assert e1 in switched and e2 in switched
+
+    def test_switch_validates_separation(self):
+        g = build_graph([(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(GraphError):
+            whitney_switch(g, 0, 1, [0])  # single edge side shares 3 vertices? -> invalid
+        with pytest.raises(GraphError):
+            whitney_switch(g, 0, 1, [])
+
+    def test_figure1_graphs_are_two_isomorphic(self):
+        """Fig. 1 of the paper: two non-isomorphic but 2-isomorphic graphs.
+
+        Both graphs consist of the edge set {1..8} arranged so that switching
+        the 2-separation {1,2,6,7} / {3,4,5,8} transforms one into the other.
+        """
+        g1 = MultiGraph()
+        # a 2-connected graph: a hexagon 0-1-2-3-4-5 with chords
+        labels = {}
+        hexagon = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]
+        for i, (u, v) in enumerate(hexagon, start=1):
+            labels[i] = g1.add_edge(u, v, label=i)
+        labels[7] = g1.add_edge(0, 2, label=7)
+        labels[8] = g1.add_edge(3, 5, label=8)
+        # switch on the separation pair shared by sides {1,2,7} and {3,4,5,6,8}
+        side = [labels[1], labels[2], labels[7]]
+        g2 = whitney_switch(g1, 0, 2, side)
+        assert two_isomorphic(g1, g2)
+        # the switch genuinely changed some incidences
+        assert any(
+            g1.edge(labels[i]).endpoints() != g2.edge(labels[i]).endpoints()
+            for i in (1, 2)
+        )
+
+    def test_fundamental_cycles_of_a_cycle(self):
+        g = build_graph([(0, 1), (1, 2), (2, 0)])
+        cycles = fundamental_cycles(g)
+        assert len(cycles) == 1
+        assert cycles[0] == frozenset(g.edge_ids())
+
+    def test_cycle_space_differs_for_different_graphs(self):
+        g1 = build_graph([(0, 1), (1, 2), (2, 0), (0, 3), (3, 1)])
+        g2 = build_graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 1)])
+        assert not same_cycle_space(g1, g2)
+
+
+class TestAlignmentPlanner:
+    def _realization(self, order, chords):
+        real = RealizationGraph(order, [frozenset(c) for c in chords])
+        deco = TutteDecomposition.build(real.graph)
+        return real, deco
+
+    def test_adjacency_moves_chord_to_path_end(self):
+        # order 0..5 with a chord over {2,3}: some 2-isomorphic copy has the
+        # chord's atoms at the start or end of the path
+        real, deco = self._realization([0, 1, 2, 3, 4, 5], [{2, 3}])
+        planner = AlignmentPlanner(deco)
+        chord = real.chord_for({2, 3})
+        choices = planner.adjacency(real.e_eid, chord)
+        assert choices is not None
+        new_order = real.order_from(compose(deco, choices))
+        positions = sorted(new_order.index(a) for a in (2, 3))
+        assert positions in ([0, 1], [4, 5])
+
+    def test_adjacency_impossible_inside_rigid_member(self):
+        # columns {0,2} and {1,3} interleave over 0..3: their realization
+        # graph is rigid and the two chords cannot be made adjacent to e
+        real, deco = self._realization([0, 1, 2, 3], [{1, 2}, {0, 1, 2}, {1, 2, 3}])
+        planner = AlignmentPlanner(deco)
+        f = real.chord_for({1, 2})
+        # {1,2} can never reach an end of the path: every 2-isomorphic copy
+        # keeps 0 and 3 at the ends (the rigid member pins them)
+        choices = planner.adjacency(real.e_eid, f)
+        if choices is not None:
+            new_order = real.order_from(compose(deco, choices))
+            positions = sorted(new_order.index(a) for a in (1, 2))
+            assert positions not in ([0, 1], [2, 3])
+
+    def test_fork_places_two_chords_at_opposite_ends(self):
+        real, deco = self._realization(
+            [0, 1, 2, 3, 4, 5], [{1, 2}, {0, 1}, {4, 5}, {3, 4, 5}]
+        )
+        planner = AlignmentPlanner(deco)
+        f = real.chord_for({0, 1})
+        g = real.chord_for({4, 5})
+        choices = planner.fork(real.e_eid, f, g)
+        assert choices is not None
+        new_order = real.order_from(compose(deco, choices))
+        # {0,1} at one end and {4,5} at the other
+        pos_f = sorted(new_order.index(a) for a in (0, 1))
+        pos_g = sorted(new_order.index(a) for a in (4, 5))
+        assert (pos_f == [0, 1] and pos_g == [4, 5]) or (pos_f == [4, 5] and pos_g == [0, 1])
+
+    def test_planner_rejects_degenerate_requests(self):
+        real, deco = self._realization([0, 1, 2, 3], [{1, 2}])
+        planner = AlignmentPlanner(deco)
+        with pytest.raises(Exception):
+            planner.adjacency(real.e_eid, real.e_eid)
+        with pytest.raises(Exception):
+            planner.fork(real.e_eid, real.e_eid, real.chord_for({1, 2}))
+
+    def test_any_composition_realizes_the_same_ensemble(self):
+        rng = random.Random(4)
+        order = list(range(8))
+        chords = []
+        for _ in range(4):
+            lo = rng.randint(0, 6)
+            hi = rng.randint(lo + 1, 7)
+            chords.append(set(range(lo, hi + 1)))
+        real, deco = self._realization(order, chords)
+        planner = AlignmentPlanner(deco)
+        for chord_set in chords:
+            eid = real.chord_for(chord_set)
+            if eid == real.e_eid:
+                continue
+            choices = planner.adjacency(real.e_eid, eid)
+            if choices is None:
+                continue
+            new_order = real.order_from(compose(deco, choices))
+            # every original chord is still an interval of the new order
+            for other in chords:
+                positions = sorted(new_order.index(a) for a in other)
+                assert positions[-1] - positions[0] == len(positions) - 1
+
+
+@given(
+    n=st.integers(min_value=4, max_value=10),
+    k=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_alignment_preserves_realizations(n, k, seed):
+    """Any alignment result realizes exactly the same set of interval columns."""
+    rng = random.Random(seed)
+    order = list(range(n))
+    chords = []
+    for _ in range(k):
+        lo = rng.randint(0, n - 2)
+        hi = rng.randint(lo + 1, n - 1)
+        chords.append(frozenset(range(lo, hi + 1)))
+    real = RealizationGraph(order, chords)
+    deco = TutteDecomposition.build(real.graph)
+    planner = AlignmentPlanner(deco)
+    targets = [real.chord_for(c) for c in chords if real.chord_for(c) != real.e_eid]
+    if not targets:
+        return
+    choices = planner.adjacency(real.e_eid, targets[0])
+    if choices is None:
+        return
+    new_order = real.order_from(compose(deco, choices))
+    assert sorted(new_order) == sorted(order)
+    for c in chords:
+        positions = sorted(new_order.index(a) for a in c)
+        assert positions[-1] - positions[0] == len(positions) - 1
