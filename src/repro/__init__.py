@@ -16,6 +16,20 @@ Quick start
 >>> order = find_consecutive_ones_order(m.row_ensemble())
 >>> order is not None
 True
+
+Execution engines and throughput
+--------------------------------
+The solvers accept ``kernel="indexed"`` (the default: the ensemble is
+compiled once into an :class:`IndexedEnsemble` — dense integer atoms,
+bitmask columns — and the whole recursion runs in mask space) or
+``kernel="reference"`` (the label-level recursion the kernel is verified
+against).  For many instances at once, :func:`solve_many` fans independent
+instances and independent connected components out over a process pool:
+
+>>> from repro import solve_many
+>>> results = solve_many([m.row_ensemble()])   # serial; processes=0 for all CPUs
+>>> results[0].ok
+True
 """
 
 from .ensemble import (
@@ -26,7 +40,10 @@ from .ensemble import (
     verify_linear_layout,
 )
 from .matrix import BinaryMatrix
+from .batch import BatchResult, solve_many
 from .core import (
+    IndexedEnsemble,
+    KERNELS,
     SolverStats,
     cycle_realization,
     find_circular_ones_order,
@@ -51,6 +68,10 @@ __version__ = "1.0.0"
 __all__ = [
     "Ensemble",
     "BinaryMatrix",
+    "IndexedEnsemble",
+    "BatchResult",
+    "solve_many",
+    "KERNELS",
     "SolverStats",
     "path_realization",
     "cycle_realization",

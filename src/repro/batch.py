@@ -1,0 +1,191 @@
+"""Batch / throughput layer: solve many instances across a process pool.
+
+The paper's parallelism argument is about depth within a *single* instance;
+the serving workloads that motivate scaling this reproduction (physical
+mapping pipelines, Tucker-pattern screens over many candidate matrices) are
+embarrassingly parallel *across* instances.  :func:`solve_many` exploits
+both axes of independence:
+
+* independent **instances** are fanned out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`;
+* within a linear instance, independent **connected components** (after
+  trivial and full columns — which never constrain a linear layout — are
+  dropped) are dispatched as separate pool tasks and their layouts
+  concatenated, so one huge disconnected matrix also saturates the pool.
+
+Every task runs the integer-indexed kernel by default (see
+:mod:`repro.core.indexed`); pass ``kernel="reference"`` to fan out the
+label-level reference solver instead.  Atom labels must be picklable when a
+pool is used (plain ints/strings always are).
+
+The CLI front end is ``python -m repro batch`` (see :mod:`repro.cli`), and
+``benchmarks/bench_batch_throughput.py`` measures instances/sec.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from .core import cycle_realization, path_realization
+from .ensemble import Ensemble
+
+Atom = Hashable
+
+__all__ = ["BatchResult", "solve_many"]
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one instance of a :func:`solve_many` call."""
+
+    #: position of the instance in the input sequence
+    index: int
+    #: realizing atom order, or ``None`` when the property does not hold
+    order: list | None
+    #: number of atoms / columns of the instance
+    num_atoms: int = 0
+    num_columns: int = 0
+    #: how many pool tasks the instance was split into (connected components)
+    parts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True when the instance has the requested property."""
+        return self.order is not None
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "ok": self.ok,
+            "order": None if self.order is None else list(self.order),
+            "num_atoms": self.num_atoms,
+            "num_columns": self.num_columns,
+            "parts": self.parts,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# pool plumbing
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _Task:
+    """One pool work item: a (sub-)ensemble tagged with its reassembly slot."""
+
+    index: int
+    part: int
+    ensemble: Ensemble
+    circular: bool
+    kernel: str
+
+
+def _solve_task(task: _Task) -> tuple[int, int, list | None]:
+    solve = cycle_realization if task.circular else path_realization
+    return task.index, task.part, solve(task.ensemble, kernel=task.kernel)
+
+
+def _linear_component_ensembles(ensemble: Ensemble) -> list[Ensemble]:
+    """Sub-ensembles of the connected components that constrain a linear layout.
+
+    Trivial (size <= 1) and full columns are dropped first: they are
+    consecutive in every layout, and keeping them would glue unrelated
+    components together.  Concatenating the component layouts (in component
+    order) therefore realizes the original ensemble.
+    """
+    effective = ensemble.drop_trivial_columns(max_size=1, drop_full=True)
+    effective = effective.deduplicate_columns()
+    components = effective.components()
+    if len(components) <= 1:
+        return [ensemble]
+    return [effective.restrict(comp) for comp in components]
+
+
+def _resolve_workers(processes: int | None, num_tasks: int) -> int:
+    if processes is None:
+        return 1
+    if processes < 0:
+        raise ValueError(f"processes must be >= 0, got {processes}")
+    if processes == 0:
+        return min(num_tasks, os.cpu_count() or 1)
+    return min(num_tasks, processes)
+
+
+def solve_many(
+    ensembles: Iterable[Ensemble],
+    *,
+    circular: bool = False,
+    processes: int | None = None,
+    kernel: str = "indexed",
+    split_components: bool = True,
+) -> list[BatchResult]:
+    """Solve every ensemble, optionally fanning work out over processes.
+
+    Parameters
+    ----------
+    ensembles:
+        The instances to solve, in order.
+    circular:
+        Test the circular-ones property instead of consecutive-ones.
+    processes:
+        ``None`` solves serially in-process (the default — deterministic and
+        dependency-free); ``0`` uses one worker per CPU; any other value is
+        the worker count.  A single-task workload always runs serially.
+    kernel:
+        Execution engine per task, as in :func:`repro.core.path_realization`.
+    split_components:
+        For linear instances, dispatch independent connected components as
+        separate pool tasks and concatenate their layouts.  Circular
+        instances are never split (component structure only emerges after
+        the solver's column normalisation).
+
+    Returns
+    -------
+    One :class:`BatchResult` per input ensemble, in input order.
+    """
+    instances = list(ensembles)
+    tasks: list[_Task] = []
+    parts_per_instance: list[int] = []
+    for index, ensemble in enumerate(instances):
+        if split_components and not circular:
+            subs = _linear_component_ensembles(ensemble)
+        else:
+            subs = [ensemble]
+        for part, sub in enumerate(subs):
+            tasks.append(_Task(index, part, sub, circular, kernel))
+        parts_per_instance.append(len(subs))
+
+    workers = _resolve_workers(processes, max(1, len(tasks)))
+    if workers <= 1:
+        outcomes = [_solve_task(task) for task in tasks]
+    else:
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_solve_task, tasks, chunksize=chunksize))
+
+    # Reassemble: concatenate component layouts in component order; a single
+    # failed component fails its whole instance.
+    orders: dict[int, list[list | None]] = {
+        index: [None] * parts for index, parts in enumerate(parts_per_instance)
+    }
+    for index, part, order in outcomes:
+        orders[index][part] = order
+
+    results: list[BatchResult] = []
+    for index, ensemble in enumerate(instances):
+        pieces = orders[index]
+        if any(piece is None for piece in pieces):
+            combined: list | None = None
+        else:
+            combined = [atom for piece in pieces for atom in piece]
+        results.append(
+            BatchResult(
+                index=index,
+                order=combined,
+                num_atoms=ensemble.num_atoms,
+                num_columns=ensemble.num_columns,
+                parts=parts_per_instance[index],
+            )
+        )
+    return results

@@ -2,7 +2,9 @@
 
 Reads a (0,1)-matrix from a file (CSV of 0/1 entries, ``#`` comments and
 blank lines ignored), tests the consecutive-ones (or circular-ones) property
-and prints a realizing row order plus the permuted matrix.
+and prints a realizing row order plus the permuted matrix.  The ``batch``
+subcommand solves many matrix files at once over a process pool and reports
+throughput.
 
 Examples
 --------
@@ -12,18 +14,22 @@ Examples
     python -m repro matrix.csv --columns       # permute columns instead
     python -m repro matrix.csv --circular      # circular-ones
     python -m repro --demo                     # run on a built-in example
+    python -m repro batch a.csv b.csv --processes 0   # batch over all CPUs
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Sequence
 
+from .batch import solve_many
 from .core import cycle_realization, path_realization
 from .matrix import BinaryMatrix
 
-__all__ = ["main", "parse_matrix_text"]
+__all__ = ["main", "batch_main", "parse_matrix_text"]
 
 _DEMO = """\
 0 1 1 0 0
@@ -61,6 +67,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Test and realize the consecutive-ones property of a (0,1)-matrix.",
+        epilog="Use 'repro batch FILE [FILE ...]' to solve many matrices at once "
+        "over a process pool (see 'repro batch --help'). A matrix file "
+        "literally named 'batch' can be solved as './batch'.",
     )
     parser.add_argument("matrix", nargs="?", help="path to the matrix file ('-' for stdin)")
     parser.add_argument("--demo", action="store_true", help="run on a built-in example matrix")
@@ -76,7 +85,87 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Test the consecutive-ones property of many (0,1)-matrices at once.",
+    )
+    parser.add_argument("matrices", nargs="+", help="paths to matrix files")
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan instances/components out over N worker processes "
+        "(0 = one per CPU; default: solve serially)",
+    )
+    parser.add_argument(
+        "--columns",
+        action="store_true",
+        help="permute the columns so every row becomes a block of ones (bio convention)",
+    )
+    parser.add_argument(
+        "--circular", action="store_true", help="test the circular-ones property instead"
+    )
+    parser.add_argument("--quiet", action="store_true", help="print only per-file results")
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write per-instance results and timings to PATH"
+    )
+    return parser
+
+
+def batch_main(argv: Sequence[str]) -> int:
+    """Entry point of ``python -m repro batch``."""
+    parser = _build_batch_parser()
+    args = parser.parse_args(argv)
+    if args.processes is not None and args.processes < 0:
+        parser.error(f"--processes must be >= 0, got {args.processes}")
+    ensembles = []
+    for path in args.matrices:
+        with open(path, "r", encoding="utf-8") as handle:
+            matrix = BinaryMatrix(parse_matrix_text(handle.read()))
+        ensembles.append(matrix.column_ensemble() if args.columns else matrix.row_ensemble())
+
+    start = time.perf_counter()
+    results = solve_many(
+        ensembles, circular=args.circular, processes=args.processes
+    )
+    elapsed = time.perf_counter() - start
+
+    for path, result in zip(args.matrices, results):
+        if result.order is None:
+            print(f"{path}: NO")
+        else:
+            print(f"{path}: YES  {' '.join(str(a) for a in result.order)}")
+
+    solved = sum(1 for r in results if r.ok)
+    rate = len(results) / elapsed if elapsed > 0 else float("inf")
+    if not args.quiet:
+        print(
+            f"{len(results)} instances in {elapsed:.3f}s "
+            f"({rate:.1f} instances/sec, {solved} with the property)"
+        )
+    if args.json:
+        payload = {
+            "instances": [
+                dict(result.summary(), path=path)
+                for path, result in zip(args.matrices, results)
+            ],
+            "elapsed_seconds": elapsed,
+            "instances_per_second": rate,
+            "processes": args.processes,
+            "circular": args.circular,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+    return 0 if solved == len(results) else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        return batch_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     if args.demo:
         text = _DEMO

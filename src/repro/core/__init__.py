@@ -7,12 +7,16 @@
   and the combine step of Section 4.2,
 * :mod:`repro.core.solver` — the recursive ``Path-Realization`` /
   ``Cycle-Realization`` drivers of Fig. 3,
+* :mod:`repro.core.bitset` / :mod:`repro.core.indexed` — the integer-indexed
+  fast-path kernel (dense atoms, bitmask columns) the drivers compile to,
 * :mod:`repro.core.instrument` — recursion statistics used by the
   complexity experiments.
 """
 
+from .indexed import IndexedEnsemble, solve_cycle_indexed, solve_path_indexed
 from .instrument import SolverStats
 from .solver import (
+    KERNELS,
     cycle_realization,
     find_circular_ones_order,
     find_consecutive_ones_order,
@@ -23,10 +27,14 @@ from .solver import (
 
 __all__ = [
     "SolverStats",
+    "IndexedEnsemble",
+    "KERNELS",
     "path_realization",
     "cycle_realization",
     "find_consecutive_ones_order",
     "find_circular_ones_order",
     "has_consecutive_ones",
     "has_circular_ones",
+    "solve_path_indexed",
+    "solve_cycle_indexed",
 ]

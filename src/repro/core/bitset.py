@@ -1,0 +1,129 @@
+"""Bitmask primitives for the integer-indexed solver kernel.
+
+The indexed kernel (:mod:`repro.core.indexed`) represents the atom universe
+as dense integers ``0 .. n-1`` and every column as a Python ``int`` bitmask:
+bit ``i`` is set when atom ``i`` belongs to the column.  Python integers are
+arbitrary-precision, so intersection, union, complement and subset tests are
+single C-level operations on machine words regardless of ``n``.
+
+The one operation that is not constant-cost per member is *enumerating* the
+set bits.  Below :data:`SORTED_FALLBACK_WIDTH` bits the classic
+lowest-set-bit loop is used; above it, :func:`mask_to_indices` switches to a
+byte-chunked scan (the "sorted-array fallback"): the mask is exported once
+with ``int.to_bytes`` and the zero bytes of a wide, sparse mask are skipped
+at C speed instead of being re-shifted through a big integer, keeping
+enumeration ``O(width/8 + popcount)`` with a small constant.  Either way the
+returned indices are sorted ascending, so callers can treat the result as
+the sorted-array view of the column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "SORTED_FALLBACK_WIDTH",
+    "mask_from_indices",
+    "mask_to_indices",
+    "all_consecutive",
+    "all_circular_consecutive",
+    "is_permutation_of",
+]
+
+#: width (in bits) above which :func:`mask_to_indices` switches from the
+#: lowest-set-bit loop to the byte-chunked sorted-array scan.
+SORTED_FALLBACK_WIDTH = 1024
+
+
+def mask_from_indices(indices: Iterable[int]) -> int:
+    """The bitmask with exactly the given atom indices set."""
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask
+
+
+def mask_to_indices(mask: int) -> list[int]:
+    """The sorted atom indices of ``mask`` (the sorted-array view)."""
+    if mask < 0:
+        raise ValueError("column masks must be non-negative")
+    width = mask.bit_length()
+    if width <= SORTED_FALLBACK_WIDTH:
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+    # Wide mask: export once and scan bytes, skipping zero bytes at C speed.
+    out = []
+    data = mask.to_bytes((width + 7) // 8, "little")
+    for byte_index, byte in enumerate(data):
+        base = byte_index * 8
+        while byte:
+            low = byte & -byte
+            out.append(base + low.bit_length() - 1)
+            byte ^= low
+    return out
+
+
+def is_permutation_of(order: Sequence[int], universe: int) -> bool:
+    """True when ``order`` lists every set bit of ``universe`` exactly once."""
+    seen = 0
+    for i in order:
+        bit = 1 << i
+        if seen & bit:
+            return False
+        seen |= bit
+    return seen == universe
+
+
+def _positions(order_pos: dict[int, int], column: int) -> list[int] | None:
+    """Positions of the column's atoms in the order, or ``None`` when absent."""
+    try:
+        return [order_pos[i] for i in mask_to_indices(column)]
+    except KeyError:
+        return None
+
+
+def all_consecutive(order: Sequence[int], columns: Iterable[int]) -> bool:
+    """True when every column mask is a contiguous block of ``order``."""
+    pos = {atom: p for p, atom in enumerate(order)}
+    for column in columns:
+        if column.bit_count() <= 1:
+            if column and (column.bit_length() - 1) not in pos:
+                return False
+            continue
+        ps = _positions(pos, column)
+        if ps is None:
+            return False
+        if max(ps) - min(ps) != len(ps) - 1:
+            return False
+    return True
+
+
+def all_circular_consecutive(order: Sequence[int], columns: Iterable[int]) -> bool:
+    """True when every column mask is a contiguous arc of the circular ``order``."""
+    n = len(order)
+    pos = {atom: p for p, atom in enumerate(order)}
+    for column in columns:
+        size = column.bit_count()
+        if size <= 1 or size >= n:
+            if column and size <= 1 and (column.bit_length() - 1) not in pos:
+                return False
+            if size >= n:
+                ps = _positions(pos, column)
+                if ps is None:
+                    return False
+            continue
+        ps = _positions(pos, column)
+        if ps is None:
+            return False
+        ps.sort()
+        # An arc has at most one circular gap between successive members.
+        gaps = sum(1 for a, b in zip(ps, ps[1:]) if b - a > 1)
+        if ps[0] + n - ps[-1] > 1:
+            gaps += 1
+        if gaps > 1:
+            return False
+    return True

@@ -29,12 +29,20 @@ from ..errors import GraphError
 from ..tutte.compose import compose
 from ..tutte.decomposition import TutteDecomposition
 from ..whitney.alignment import AlignmentPlanner
+from .bitset import all_circular_consecutive, all_consecutive, mask_from_indices, mask_to_indices
 from .gp import RealizationGraph, is_prefix_or_suffix
 from .instrument import SolverStats
 
 Atom = Hashable
 
-__all__ = ["merge_path", "merge_cycle", "anchored_candidates"]
+__all__ = [
+    "merge_path",
+    "merge_cycle",
+    "merge_path_masks",
+    "merge_cycle_masks",
+    "cheap_path_splice",
+    "anchored_candidates",
+]
 
 #: cap on the number of (f, g) combinations tried per alignment, for
 #: predictable worst-case cost; the paper needs only one well-chosen pair.
@@ -407,3 +415,100 @@ def merge_cycle(
                             stats.merges += 1
                         return circ
     return None
+
+
+# ---------------------------------------------------------------------- #
+# mask entry points used by the integer-indexed kernel
+# ---------------------------------------------------------------------- #
+# Splicing ``order1`` into ``order2`` at the split-marker position keeps every
+# non-crossing column contiguous (columns inside A1 survive reversal, columns
+# inside A2 cannot span the marker), so verifying the crossing columns is the
+# whole acceptance test.  The candidates coming out of the sub-solves satisfy
+# the GAP/GAC conditions directly in the overwhelmingly common case, which
+# makes the cheap splice below worth trying before any Tutte decomposition is
+# built; completeness is preserved because a cheap miss falls back to the full
+# Section 4 alignment machinery on the same inputs.
+
+
+def cheap_path_splice(
+    order1: Sequence[int],
+    order2: Sequence[int],
+    w: int,
+    crossing: Sequence[int],
+    stats: SolverStats | None = None,
+) -> list[int] | None:
+    """Splice ``order1`` (both orientations) into ``order2`` at gap ``w``.
+
+    Returns the first splice in which every crossing column mask is
+    contiguous, or ``None``.  Shared by :func:`merge_path_masks` and the
+    indexed kernel's merge ladder.
+    """
+    order2 = list(order2)
+    for oriented1 in (list(order1), list(reversed(order1))):
+        merged = order2[:w] + oriented1 + order2[w:]
+        if stats is not None:
+            stats.merge_candidates += 1
+        if all_consecutive(merged, crossing):
+            if stats is not None:
+                stats.merges += 1
+            return merged
+    return None
+
+
+def merge_path_masks(
+    order1: Sequence[int],
+    order2_augmented: Sequence[int],
+    split_index: int,
+    columns: Sequence[int],
+    *,
+    stats: SolverStats | None = None,
+) -> list[int] | None:
+    """Mask version of :func:`merge_path`: integer atoms, bitmask columns."""
+    order2_augmented = list(order2_augmented)
+    w = order2_augmented.index(split_index)
+    order2 = order2_augmented[:w] + order2_augmented[w + 1 :]
+    a1 = mask_from_indices(order1)
+    a2 = mask_from_indices(order2)
+    crossing = [c for c in columns if (c & a1) and (c & a2)]
+
+    merged = cheap_path_splice(order1, order2, w, crossing, stats)
+    if merged is not None:
+        return merged
+
+    return merge_path(
+        list(order1),
+        order2_augmented,
+        split_index,
+        [frozenset(mask_to_indices(c)) for c in columns],
+        stats=stats,
+    )
+
+
+def merge_cycle_masks(
+    order1: Sequence[int],
+    order2: Sequence[int],
+    columns: Sequence[int],
+    *,
+    stats: SolverStats | None = None,
+) -> list[int] | None:
+    """Mask version of :func:`merge_cycle`: integer atoms, bitmask columns."""
+    a1 = mask_from_indices(order1)
+    a2 = mask_from_indices(order2)
+    crossing = [c for c in columns if (c & a1) and (c & a2)]
+
+    for r1 in (list(order1), list(reversed(order1))):
+        for r2 in (list(order2), list(reversed(order2))):
+            circ = r1 + r2
+            if stats is not None:
+                stats.merge_candidates += 1
+            if all_circular_consecutive(circ, crossing):
+                if stats is not None:
+                    stats.merges += 1
+                return circ
+
+    return merge_cycle(
+        list(order1),
+        list(order2),
+        [frozenset(mask_to_indices(c)) for c in columns],
+        stats=stats,
+    )

@@ -21,7 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
-__all__ = ["PartitionDecision", "choose_partition", "grow_connected_collection"]
+from .bitset import mask_to_indices
+
+__all__ = [
+    "PartitionDecision",
+    "MaskPartitionDecision",
+    "choose_partition",
+    "choose_partition_masks",
+    "grow_connected_collection",
+    "grow_connected_collection_masks",
+]
 
 Atom = Hashable
 
@@ -118,3 +127,81 @@ def choose_partition(
 
     # Case 2b: big columns present, no proper-size column.
     return PartitionDecision("circular", case="case2b")
+
+
+# ---------------------------------------------------------------------- #
+# mask variants used by the integer-indexed kernel
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MaskPartitionDecision:
+    """Outcome of the divide step in the indexed kernel.
+
+    Same contract as :class:`PartitionDecision`, with ``segment`` an atom
+    bitmask instead of a frozenset of labels.
+    """
+
+    kind: str
+    segment: int = 0
+    case: str = ""
+
+
+def grow_connected_collection_masks(n: int, columns: Sequence[int]) -> int | None:
+    """Mask version of :func:`grow_connected_collection`.
+
+    ``n`` is the number of live atoms and every column mask has fewer than
+    ``n/3`` bits.  Returns the union mask of a connected collection of proper
+    size, or ``None`` when every collection stays below the threshold.
+    """
+    if not columns:
+        return None
+    atom_to_cols: dict[int, list[int]] = {}
+    members = [mask_to_indices(col) for col in columns]
+    for idx, atoms in enumerate(members):
+        for a in atoms:
+            atom_to_cols.setdefault(a, []).append(idx)
+
+    visited_cols: set[int] = set()
+    for start in range(len(columns)):
+        if start in visited_cols:
+            continue
+        union = 0
+        queue = [start]
+        component_cols: set[int] = {start}
+        while queue:
+            ci = queue.pop()
+            visited_cols.add(ci)
+            union |= columns[ci]
+            if 3 * union.bit_count() > n:
+                return union
+            for a in members[ci]:
+                for cj in atom_to_cols[a]:
+                    if cj not in component_cols:
+                        component_cols.add(cj)
+                        queue.append(cj)
+    return None
+
+
+def choose_partition_masks(n: int, columns: Sequence[int]) -> MaskPartitionDecision:
+    """Mask version of :func:`choose_partition` for the indexed kernel.
+
+    ``n`` is the number of live atoms; ``columns`` must already exclude
+    trivial (size <= 1) and full columns.
+    """
+    best = 0
+    best_gap = None
+    for col in columns:
+        size = col.bit_count()
+        if _is_proper(size, n):
+            gap = abs(2 * size - n)
+            if best_gap is None or gap < best_gap:
+                best, best_gap = col, gap
+    if best_gap is not None:
+        return MaskPartitionDecision("split", best, case="case1")
+
+    if all(3 * col.bit_count() < n for col in columns):
+        union = grow_connected_collection_masks(n, columns)
+        if union is not None:
+            return MaskPartitionDecision("split", union, case="case2a")
+        return MaskPartitionDecision("circular", case="case2a-disconnected")
+
+    return MaskPartitionDecision("circular", case="case2b")

@@ -18,6 +18,16 @@ circular-ones property.  Both follow the paper's divide-and-conquer scheme:
 The returned order is always verified against every column before being
 handed back, so a non-``None`` result is guaranteed correct; ``None`` means
 the ensemble does not have the property.
+
+Two interchangeable execution engines are exposed through the ``kernel``
+keyword of the public functions:
+
+* ``"indexed"`` (the default) compiles the ensemble once into an
+  :class:`~repro.core.indexed.IndexedEnsemble` — dense integer atoms, bitmask
+  columns — and runs the recursion entirely in mask space
+  (:mod:`repro.core.indexed`), avoiding per-node container revalidation;
+* ``"reference"`` runs the original label-level recursion below, which stays
+  the executable specification the kernel is verified against.
 """
 
 from __future__ import annotations
@@ -42,7 +52,16 @@ __all__ = [
     "find_circular_ones_order",
     "has_consecutive_ones",
     "has_circular_ones",
+    "KERNELS",
 ]
+
+#: the recognised values of the public ``kernel`` keyword
+KERNELS = ("indexed", "reference")
+
+
+def _check_kernel(kernel: str) -> None:
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
 
 
 class _TransformAtom:
@@ -92,9 +111,24 @@ def path_realization(
     ensemble: Ensemble,
     stats: SolverStats | None = None,
     *,
-    _depth: int = 0,
+    kernel: str = "indexed",
 ) -> list[Atom] | None:
     """A consecutive-ones layout of ``ensemble``, or ``None`` if none exists."""
+    _check_kernel(kernel)
+    if kernel == "indexed":
+        from .indexed import IndexedEnsemble
+
+        return IndexedEnsemble.from_ensemble(ensemble).solve_path(stats)
+    return _path_realization_reference(ensemble, stats)
+
+
+def _path_realization_reference(
+    ensemble: Ensemble,
+    stats: SolverStats | None = None,
+    *,
+    _depth: int = 0,
+) -> list[Atom] | None:
+    """The label-level reference recursion (the seed implementation)."""
     atoms = list(ensemble.atoms)
     n = len(atoms)
     if stats is not None:
@@ -116,7 +150,7 @@ def path_realization(
         order: list[Atom] = []
         for comp in components:
             sub = working.restrict(comp)
-            sub_order = path_realization(sub, stats, _depth=_depth + 1)
+            sub_order = _path_realization_reference(sub, stats, _depth=_depth + 1)
             if sub_order is None:
                 return None
             order.extend(sub_order)
@@ -130,7 +164,7 @@ def path_realization(
         # Case 2b: Tucker transform and circular solve (Section 3.2).
         r = _TransformAtom()
         transformed = working.tucker_transform(r)
-        circ = cycle_realization(transformed, stats, _depth=_depth + 1)
+        circ = _cycle_realization_reference(transformed, stats, _depth=_depth + 1)
         if circ is None:
             return None
         idx = circ.index(r)
@@ -145,7 +179,7 @@ def path_realization(
         stats.record_split(n, len(a1))
 
     sub1 = working.restrict(a1)
-    order1 = path_realization(sub1, stats, _depth=_depth + 1)
+    order1 = _path_realization_reference(sub1, stats, _depth=_depth + 1)
     if order1 is None:
         return None
 
@@ -178,7 +212,7 @@ def path_realization(
             if part != a2:
                 augmented_columns.append(frozenset(part | {x}))
     sub2_aug = Ensemble(sub2.atoms + (x,), tuple(augmented_columns))
-    order2_aug = path_realization(sub2_aug, stats, _depth=_depth + 1)
+    order2_aug = _path_realization_reference(sub2_aug, stats, _depth=_depth + 1)
     if order2_aug is None:
         return None
 
@@ -197,9 +231,24 @@ def cycle_realization(
     ensemble: Ensemble,
     stats: SolverStats | None = None,
     *,
-    _depth: int = 0,
+    kernel: str = "indexed",
 ) -> list[Atom] | None:
     """A circular-ones layout of ``ensemble``, or ``None`` if none exists."""
+    _check_kernel(kernel)
+    if kernel == "indexed":
+        from .indexed import IndexedEnsemble
+
+        return IndexedEnsemble.from_ensemble(ensemble).solve_cycle(stats)
+    return _cycle_realization_reference(ensemble, stats)
+
+
+def _cycle_realization_reference(
+    ensemble: Ensemble,
+    stats: SolverStats | None = None,
+    *,
+    _depth: int = 0,
+) -> list[Atom] | None:
+    """The label-level reference recursion (the seed implementation)."""
     atoms = list(ensemble.atoms)
     n = len(atoms)
     if stats is not None:
@@ -236,7 +285,7 @@ def cycle_realization(
         order: list[Atom] = []
         for comp in components:
             sub = working.restrict(comp)
-            sub_order = path_realization(sub, stats, _depth=_depth + 1)
+            sub_order = _path_realization_reference(sub, stats, _depth=_depth + 1)
             if sub_order is None:
                 return None
             order.extend(sub_order)
@@ -258,10 +307,10 @@ def cycle_realization(
 
     sub1 = working.restrict(a1)
     sub2 = working.restrict(a2)
-    order1 = path_realization(sub1, stats, _depth=_depth + 1)
+    order1 = _path_realization_reference(sub1, stats, _depth=_depth + 1)
     if order1 is None:
         return None
-    order2 = path_realization(sub2, stats, _depth=_depth + 1)
+    order2 = _path_realization_reference(sub2, stats, _depth=_depth + 1)
     if order2 is None:
         return None
 
@@ -277,24 +326,28 @@ def cycle_realization(
 # convenience wrappers
 # ---------------------------------------------------------------------- #
 def find_consecutive_ones_order(
-    ensemble: Ensemble, stats: SolverStats | None = None
+    ensemble: Ensemble, stats: SolverStats | None = None, *, kernel: str = "indexed"
 ) -> list[Atom] | None:
     """Alias of :func:`path_realization` (kept for API symmetry)."""
-    return path_realization(ensemble, stats)
+    return path_realization(ensemble, stats, kernel=kernel)
 
 
 def find_circular_ones_order(
-    ensemble: Ensemble, stats: SolverStats | None = None
+    ensemble: Ensemble, stats: SolverStats | None = None, *, kernel: str = "indexed"
 ) -> list[Atom] | None:
     """Alias of :func:`cycle_realization`."""
-    return cycle_realization(ensemble, stats)
+    return cycle_realization(ensemble, stats, kernel=kernel)
 
 
-def has_consecutive_ones(ensemble: Ensemble, stats: SolverStats | None = None) -> bool:
+def has_consecutive_ones(
+    ensemble: Ensemble, stats: SolverStats | None = None, *, kernel: str = "indexed"
+) -> bool:
     """Decision version of the consecutive-ones property."""
-    return path_realization(ensemble, stats) is not None
+    return path_realization(ensemble, stats, kernel=kernel) is not None
 
 
-def has_circular_ones(ensemble: Ensemble, stats: SolverStats | None = None) -> bool:
+def has_circular_ones(
+    ensemble: Ensemble, stats: SolverStats | None = None, *, kernel: str = "indexed"
+) -> bool:
     """Decision version of the circular-ones property."""
-    return cycle_realization(ensemble, stats) is not None
+    return cycle_realization(ensemble, stats, kernel=kernel) is not None

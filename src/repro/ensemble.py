@@ -23,6 +23,7 @@ the atom *indices* ``0 .. n-1`` in the order given by :attr:`Ensemble.atoms`.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Mapping, Sequence
 
@@ -312,8 +313,24 @@ class Ensemble:
         return mat
 
     def relabel(self, mapping: Mapping[Atom, Atom]) -> "Ensemble":
-        """Rename atoms according to ``mapping`` (must be injective)."""
+        """Rename atoms according to ``mapping`` (must be injective).
+
+        Raises :class:`~repro.errors.InvalidEnsembleError` when two atoms map
+        to the same new label (which would silently merge columns), naming
+        the colliding labels.
+        """
         new_atoms = tuple(mapping.get(a, a) for a in self.atoms)
+        collisions = {
+            label: [a for a in self.atoms if mapping.get(a, a) == label]
+            for label, count in Counter(new_atoms).items()
+            if count > 1
+        }
+        if collisions:
+            detail = "; ".join(
+                f"{sorted(map(repr, sources))} -> {label!r}"
+                for label, sources in sorted(collisions.items(), key=lambda kv: repr(kv[0]))
+            )
+            raise InvalidEnsembleError(f"relabel mapping is not injective: {detail}")
         new_cols = tuple(frozenset(mapping.get(a, a) for a in col) for col in self.columns)
         return Ensemble(new_atoms, new_cols, self.column_names)
 
@@ -357,15 +374,17 @@ def verify_linear_layout(ensemble: Ensemble, order: Sequence[Atom]) -> bool:
     """Check that ``order`` is a valid consecutive-ones layout of ``ensemble``.
 
     ``order`` must be a permutation of the ensemble's atoms and every column
-    must be consecutive in it.
+    must be consecutive in it.  The permutation test compares the atoms
+    themselves (two distinct atoms with equal ``repr`` never pass for each
+    other).
     """
-    if sorted(map(repr, order)) != sorted(map(repr, ensemble.atoms)):
+    if Counter(order) != Counter(ensemble.atoms):
         return False
     return all(is_consecutive(order, col) for col in ensemble.columns)
 
 
 def verify_circular_layout(ensemble: Ensemble, order: Sequence[Atom]) -> bool:
     """Check that ``order`` is a valid circular-ones layout of ``ensemble``."""
-    if sorted(map(repr, order)) != sorted(map(repr, ensemble.atoms)):
+    if Counter(order) != Counter(ensemble.atoms):
         return False
     return all(is_circular_consecutive(order, col) for col in ensemble.columns)

@@ -46,8 +46,15 @@ class BinaryMatrix:
             raise InvalidEnsembleError("matrix entries must be 0 or 1")
         self._data = arr.astype(np.int8, copy=True)
         nrows, ncols = self._data.shape
-        self.row_names = tuple(row_names) if row_names else tuple(f"r{i}" for i in range(nrows))
-        self.col_names = tuple(col_names) if col_names else tuple(f"c{j}" for j in range(ncols))
+        # `is not None` (not truthiness): an explicitly passed empty sequence
+        # for a non-empty axis must hit the length check below, not be
+        # silently replaced by generated default names.
+        self.row_names = (
+            tuple(row_names) if row_names is not None else tuple(f"r{i}" for i in range(nrows))
+        )
+        self.col_names = (
+            tuple(col_names) if col_names is not None else tuple(f"c{j}" for j in range(ncols))
+        )
         if len(self.row_names) != nrows or len(self.col_names) != ncols:
             raise InvalidEnsembleError("row/column name lengths do not match matrix shape")
 

@@ -125,10 +125,17 @@ def _schedule_subproblem(ensemble: Ensemble) -> tuple[int, int, int]:
     return machine.depth, machine.work, machine.max_processors
 
 
-def parallel_path_realization(ensemble: Ensemble) -> ParallelReport:
-    """Run the solver and produce the level-synchronous PRAM accounting."""
+def parallel_path_realization(ensemble: Ensemble, *, kernel: str = "indexed") -> ParallelReport:
+    """Run the solver and produce the level-synchronous PRAM accounting.
+
+    ``kernel`` selects the execution engine (see
+    :func:`repro.core.solver.path_realization`); the accounting below depends
+    only on the recorded subproblem shapes, and both kernels record the same
+    Fig. 3 recursion tree (the indexed kernel keeps its internal merge-tier
+    re-solves out of the stats).
+    """
     stats = SolverStats()
-    order = path_realization(ensemble, stats)
+    order = path_realization(ensemble, stats, kernel=kernel)
     report = ParallelReport(
         order=order,
         n=ensemble.num_atoms,

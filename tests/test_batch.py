@@ -1,0 +1,127 @@
+"""Tests for the batch / throughput layer (repro.batch)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Ensemble, solve_many
+from repro.batch import BatchResult, _linear_component_ensembles
+from repro.ensemble import verify_circular_layout, verify_linear_layout
+from repro.generators import (
+    non_c1p_ensemble,
+    random_c1p_ensemble,
+    random_circular_ensemble,
+)
+
+
+def _disconnected_instance(seeds: list[int], block: int = 8) -> Ensemble:
+    """Independent planted-C1P blocks over disjoint atom ranges."""
+    atoms: tuple = ()
+    columns: tuple = ()
+    for k, seed in enumerate(seeds):
+        inst = random_c1p_ensemble(block, 5, random.Random(seed)).ensemble
+        shifted = inst.relabel({i: k * 1000 + i for i in range(block)})
+        atoms += shifted.atoms
+        columns += shifted.columns
+    return Ensemble(atoms, columns)
+
+
+class TestSolveMany:
+    def test_results_align_with_inputs(self, rng):
+        fleet = [random_c1p_ensemble(12, 8, rng).ensemble for _ in range(4)]
+        fleet.insert(2, non_c1p_ensemble(10, 6, rng).ensemble)
+        results = solve_many(fleet)
+        assert [r.index for r in results] == list(range(5))
+        assert [r.ok for r in results] == [True, True, False, True, True]
+        for ensemble, result in zip(fleet, results):
+            assert result.num_atoms == ensemble.num_atoms
+            assert result.num_columns == ensemble.num_columns
+            if result.ok:
+                assert verify_linear_layout(ensemble, result.order)
+
+    def test_empty_batch(self):
+        assert solve_many([]) == []
+
+    def test_circular_batch(self, rng):
+        fleet = [random_circular_ensemble(10, 8, rng).ensemble for _ in range(3)]
+        results = solve_many(fleet, circular=True)
+        for ensemble, result in zip(fleet, results):
+            if result.ok:
+                assert verify_circular_layout(ensemble, result.order)
+
+    def test_component_fanout_concatenates_correctly(self):
+        instance = _disconnected_instance([1, 2, 3])
+        results = solve_many([instance])
+        (result,) = results
+        assert result.parts == 3
+        assert result.ok
+        assert verify_linear_layout(instance, result.order)
+
+    def test_component_fanout_fails_when_one_component_fails(self):
+        bad = non_c1p_ensemble(6, 6, random.Random(0)).ensemble
+        good = random_c1p_ensemble(8, 5, random.Random(1)).ensemble.relabel(
+            {i: 500 + i for i in range(8)}
+        )
+        instance = Ensemble(bad.atoms + good.atoms, bad.columns + good.columns)
+        (result,) = solve_many([instance])
+        assert result.parts >= 2
+        assert not result.ok and result.order is None
+
+    def test_split_components_can_be_disabled(self):
+        instance = _disconnected_instance([4, 5])
+        (result,) = solve_many([instance], split_components=False)
+        assert result.parts == 1
+        assert result.ok and verify_linear_layout(instance, result.order)
+
+    def test_process_pool_matches_serial(self, rng):
+        fleet = [random_c1p_ensemble(15, 10, rng).ensemble for _ in range(4)]
+        fleet.append(non_c1p_ensemble(10, 6, rng).ensemble)
+        serial = solve_many(fleet, processes=None)
+        pooled = solve_many(fleet, processes=2)
+        assert [r.ok for r in serial] == [r.ok for r in pooled]
+        for ensemble, result in zip(fleet, pooled):
+            if result.ok:
+                assert verify_linear_layout(ensemble, result.order)
+
+    def test_negative_processes_rejected(self, rng):
+        inst = random_c1p_ensemble(6, 4, rng).ensemble
+        with pytest.raises(ValueError, match="processes"):
+            solve_many([inst], processes=-1)
+
+    def test_reference_kernel_fanout(self, rng):
+        fleet = [random_c1p_ensemble(10, 6, rng).ensemble for _ in range(2)]
+        results = solve_many(fleet, kernel="reference")
+        assert all(r.ok for r in results)
+
+    def test_batchresult_summary_is_json_friendly(self, rng):
+        import json
+
+        inst = random_c1p_ensemble(6, 4, rng).ensemble
+        (result,) = solve_many([inst])
+        assert isinstance(result, BatchResult)
+        payload = json.dumps(result.summary())
+        assert '"ok": true' in payload
+
+
+class TestComponentSplitting:
+    def test_full_and_trivial_columns_do_not_glue_components(self):
+        instance = _disconnected_instance([6, 7])
+        atoms = instance.atoms
+        glued = Ensemble(
+            atoms,
+            instance.columns + (frozenset(atoms), frozenset({atoms[0]})),
+        )
+        subs = _linear_component_ensembles(glued)
+        assert len(subs) == 2
+
+    def test_connected_instance_is_not_split(self, rng):
+        inst = random_c1p_ensemble(10, 8, rng).ensemble
+        assert len(_linear_component_ensembles(inst)) == 1
+
+    def test_components_cover_all_atoms(self):
+        instance = _disconnected_instance([8, 9, 10])
+        subs = _linear_component_ensembles(instance)
+        covered = sorted(a for sub in subs for a in sub.atoms)
+        assert covered == sorted(instance.atoms)

@@ -67,3 +67,59 @@ class TestMain:
         monkeypatch.setattr("sys.stdin", io.StringIO("1 0\n1 1\n"))
         assert main(["-", "--quiet"]) == 0
         assert capsys.readouterr().out.strip()
+
+
+class TestBatchSubcommand:
+    GOOD = "0 1 1 0 0\n1 1 0 0 0\n0 0 1 1 0\n1 0 0 0 0\n0 0 0 1 1\n"
+    BAD = "1 1 0\n0 1 1\n1 0 1\n"
+
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_batch_solves_multiple_files(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.txt", self.GOOD)
+        b = self._write(tmp_path, "b.txt", self.GOOD)
+        assert main(["batch", a, b]) == 0
+        out = capsys.readouterr().out
+        assert out.count("YES") == 2
+        assert "instances/sec" in out
+
+    def test_batch_reports_negative_instances(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.txt", self.GOOD)
+        b = self._write(tmp_path, "b.txt", self.BAD)
+        assert main(["batch", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "YES" in out and "NO" in out
+        assert "1 with the property" in out
+
+    def test_batch_json_record(self, tmp_path, capsys):
+        import json
+
+        a = self._write(tmp_path, "a.txt", self.GOOD)
+        report = tmp_path / "report.json"
+        assert main(["batch", a, "--json", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["instances"][0]["ok"] is True
+        assert payload["instances"][0]["path"] == a
+        assert payload["instances_per_second"] > 0
+
+    def test_batch_quiet_omits_summary(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.txt", self.GOOD)
+        assert main(["batch", a, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "instances/sec" not in out
+
+    def test_batch_with_process_pool(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.txt", self.GOOD)
+        b = self._write(tmp_path, "b.txt", self.GOOD)
+        assert main(["batch", a, b, "--processes", "2"]) == 0
+        assert capsys.readouterr().out.count("YES") == 2
+
+    def test_batch_rejects_negative_processes(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.txt", self.GOOD)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", a, "--processes", "-2"])
+        assert excinfo.value.code == 2
+        assert "--processes must be >= 0" in capsys.readouterr().err

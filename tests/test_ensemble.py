@@ -161,6 +161,63 @@ class TestVerification:
         assert verify_circular_layout(ens, (0, 1, 2, 3))
 
 
+class _ReprCollidingAtom:
+    """Distinct hashable atoms that all share one repr (regression helper)."""
+
+    def __repr__(self) -> str:
+        return "<atom>"
+
+
+class TestVerificationComparesAtomsNotReprs:
+    """Regression: verification must compare atoms, not their reprs.
+
+    The seed implementation compared ``sorted(map(repr, ...))``, so two
+    distinct atoms with equal reprs verified as permutations of each other.
+    """
+
+    def setup_method(self):
+        self.x = _ReprCollidingAtom()
+        self.y = _ReprCollidingAtom()
+        assert repr(self.x) == repr(self.y) and self.x != self.y
+        self.ens = Ensemble((self.x, self.y), (frozenset({self.x, self.y}),))
+
+    def test_linear_rejects_repeated_atom_with_colliding_repr(self):
+        assert not verify_linear_layout(self.ens, (self.x, self.x))
+        assert not verify_linear_layout(self.ens, (self.y, self.y))
+
+    def test_linear_accepts_true_permutations(self):
+        assert verify_linear_layout(self.ens, (self.x, self.y))
+        assert verify_linear_layout(self.ens, (self.y, self.x))
+
+    def test_circular_rejects_repeated_atom_with_colliding_repr(self):
+        assert not verify_circular_layout(self.ens, (self.x, self.x))
+        assert verify_circular_layout(self.ens, (self.y, self.x))
+
+    def test_foreign_atom_with_colliding_repr_rejected(self):
+        stranger = _ReprCollidingAtom()
+        assert not verify_linear_layout(self.ens, (self.x, stranger))
+
+
+class TestRelabelInjectivity:
+    """Regression: ``relabel`` must reject non-injective mappings loudly."""
+
+    def test_injective_relabel_works(self):
+        ens = Ensemble(("a", "b"), (frozenset("ab"),))
+        renamed = ens.relabel({"a": "x", "b": "y"})
+        assert renamed.atoms == ("x", "y")
+
+    def test_colliding_targets_raise_and_name_the_labels(self):
+        ens = Ensemble(("a", "b", "c"), (frozenset("ab"),))
+        with pytest.raises(InvalidEnsembleError, match="not injective") as excinfo:
+            ens.relabel({"a": "z", "b": "z"})
+        assert "'z'" in str(excinfo.value)
+
+    def test_collision_with_unmapped_atom_raises(self):
+        ens = Ensemble(("a", "b"), (frozenset("ab"),))
+        with pytest.raises(InvalidEnsembleError, match="not injective"):
+            ens.relabel({"a": "b"})
+
+
 @given(
     n=st.integers(min_value=1, max_value=8),
     seed=st.integers(min_value=0, max_value=10_000),

@@ -40,6 +40,19 @@ class TestConstruction:
         with pytest.raises(InvalidEnsembleError):
             BinaryMatrix([[1, 0]], row_names=["a", "b"])
 
+    def test_rejects_explicit_empty_names_for_nonempty_axis(self):
+        """Regression: an explicitly passed empty sequence must not be
+        silently replaced by generated default names."""
+        with pytest.raises(InvalidEnsembleError):
+            BinaryMatrix([[1, 0]], row_names=[])
+        with pytest.raises(InvalidEnsembleError):
+            BinaryMatrix([[1, 0]], col_names=())
+
+    def test_empty_names_accepted_for_empty_axis(self):
+        m = BinaryMatrix(np.zeros((0, 2), dtype=int), row_names=[])
+        assert m.row_names == ()
+        assert m.col_names == ("c0", "c1")
+
     def test_equality(self):
         assert BinaryMatrix([[1, 0]]) == BinaryMatrix([[1, 0]])
         assert BinaryMatrix([[1, 0]]) != BinaryMatrix([[0, 1]])
