@@ -1,50 +1,194 @@
-"""E1 — sequential scaling of Path-Realization (Theorem 9, sequential part).
+"""E1 — sequential scaling: decomposition engines and the end-to-end solver.
 
-The paper claims ``O(p log p)`` sequential time when the Tutte decomposition
-substrate is the linear-time Hopcroft–Tarjan algorithm; our substrate is the
-polynomial split-pair search (DESIGN.md, substitution 3), so the absolute
-exponent is larger, but the benchmark regenerates the size-vs-time series so
-the growth can be compared against both references.  The per-size rows that
-the paper's analysis would predict are printed once at the end of the run.
+Like ``bench_batch_throughput.py`` this is a standalone script (run by CI on
+a small size, by hand on the full one), and the regression gate for the
+Tutte decomposition substrate.  It measures
+
+1. **decomposition-build speedup** — ``TutteDecomposition.build`` with the
+   near-linear ``spqr`` engine vs. the polynomial ``splitpair`` reference on
+   realization-like graphs (a Hamiltonian cycle plus random chords, the
+   graph shape every combine step builds).  The acceptance bar is >= 5x at
+   1000 atoms; CI asserts >= 1x at 200 atoms (the spqr engine must never be
+   slower).  Both engines must produce the identical canonical
+   decomposition, which is asserted on every sample.
+2. **end-to-end solver scaling** — ``path_realization`` (indexed kernel,
+   default engine) on planted C1P ensembles, reported against the paper's
+   ``O(p log p)`` sequential reference.
+
+Results are printed as tables and recorded as JSON (``--json``), including
+the cost-model prediction
+(:func:`repro.pram.costmodel.sequential_tutte_build_work`) next to the
+measured ratio.
+
+Usage
+-----
+::
+
+    PYTHONPATH=src python benchmarks/bench_sequential_scaling.py \
+        --sizes 200,500,1000 --json sequential_scaling.json
+
+    # CI smoke size: the spqr engine must not lose to splitpair at n=200
+    PYTHONPATH=src python benchmarks/bench_sequential_scaling.py \
+        --sizes 200 --require-speedup 1.0
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import math
-
-import pytest
+import random
+import sys
+import time
 
 from repro.core import path_realization
-
-from benchmarks import reporting
-
-SIZES = (16, 32, 64, 128, 256)
-
-_results: dict[int, dict] = {}
+from repro.generators import random_c1p_ensemble
+from repro.graph import MultiGraph
+from repro.pram.costmodel import sequential_tutte_build_work
+from repro.tutte import TutteDecomposition
 
 
-@pytest.mark.parametrize("n", SIZES)
-def test_sequential_path_realization(benchmark, planted_instances, n):
-    ensemble = planted_instances[n]
-    order = benchmark(path_realization, ensemble)
-    assert order is not None
-    p = ensemble.total_size
-    _results[n] = {
+def realization_like_graph(n: int, chords: int, seed: int) -> MultiGraph:
+    """A Hamiltonian cycle with random chords: the combine step's graph shape."""
+    rng = random.Random(seed)
+    g = MultiGraph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, kind="path")
+    for _ in range(chords):
+        u, v = rng.sample(range(n), 2)
+        g.add_edge(u, v, kind="nonpath")
+    return g
+
+
+def time_decomposition(n: int, seed: int) -> dict:
+    chords = max(4, (3 * n) // 10)
+    graph = realization_like_graph(n, chords, seed)
+    m = graph.num_edges
+
+    start = time.perf_counter()
+    spqr = TutteDecomposition.build(graph, engine="spqr")
+    spqr_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    splitpair = TutteDecomposition.build(graph, engine="splitpair")
+    splitpair_s = time.perf_counter() - start
+
+    if spqr.canonical_form() != splitpair.canonical_form():
+        raise SystemExit(
+            f"engine mismatch at n={n}: spqr and splitpair produced "
+            "different canonical decompositions"
+        )
+
+    predicted = sequential_tutte_build_work(n, m, "splitpair") / max(
+        1, sequential_tutte_build_work(n, m, "spqr")
+    )
+    return {
+        "n": n,
+        "edges": m,
+        "members": len(spqr.members),
+        "spqr_seconds": spqr_s,
+        "splitpair_seconds": splitpair_s,
+        "speedup": splitpair_s / spqr_s if spqr_s > 0 else float("inf"),
+        "predicted_work_ratio": predicted,
+    }
+
+
+def time_solver(n: int, seed: int) -> dict:
+    instance = random_c1p_ensemble(
+        n, max(4, (3 * n) // 10), random.Random(seed), min_len=2
+    ).ensemble
+    start = time.perf_counter()
+    order = path_realization(instance)
+    seconds = time.perf_counter() - start
+    if order is None:
+        raise SystemExit(f"solver rejected a planted C1P instance at n={n}")
+    p = instance.total_size
+    return {
         "n": n,
         "p": p,
-        "seconds": benchmark.stats.stats.mean,
+        "seconds": seconds,
         "p_log_p": p * math.log2(max(2, p)),
     }
 
 
-def teardown_module(module):  # pragma: no cover - reporting only
-    if not _results:
-        return
-    lines = [f"{'n':>6} {'p':>8} {'mean seconds':>14} {'p log p':>12} {'sec / (p log p)':>16}"]
-    for n in sorted(_results):
-        row = _results[n]
+def run(sizes: list[int], seed: int) -> dict:
+    return {
+        "workload": {"sizes": sizes, "seed": seed},
+        "decomposition_build": [time_decomposition(n, seed) for n in sizes],
+        "path_realization": [time_solver(n, seed) for n in sizes],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", default="200,500,1000",
+        help="comma-separated atom counts (default: 200,500,1000)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", metavar="PATH", help="write the result record to PATH")
+    parser.add_argument(
+        "--require-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero when the spqr decomposition-build speedup falls "
+        "below X at any measured size",
+    )
+    args = parser.parse_args(argv)
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+
+    record = run(sizes, args.seed)
+
+    print("E1  decomposition-build: spqr vs splitpair engine")
+    print(f"{'n':>6} {'edges':>7} {'members':>8} {'spqr s':>10} "
+          f"{'splitpair s':>12} {'speedup':>9} {'predicted':>10}")
+    for row in record["decomposition_build"]:
+        print(f"{row['n']:>6} {row['edges']:>7} {row['members']:>8} "
+              f"{row['spqr_seconds']:>10.3f} {row['splitpair_seconds']:>12.3f} "
+              f"{row['speedup']:>8.1f}x {row['predicted_work_ratio']:>9.0f}x")
+
+    print("E1  sequential scaling (divide-and-conquer solver, indexed kernel)")
+    print(f"{'n':>6} {'p':>8} {'seconds':>10} {'p log p':>12} {'sec/(p log p)':>15}")
+    for row in record["path_realization"]:
+        print(f"{row['n']:>6} {row['p']:>8} {row['seconds']:>10.3f} "
+              f"{row['p_log_p']:>12.0f} {row['seconds'] / row['p_log_p']:>15.3e}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"  recorded -> {args.json}")
+
+    if args.require_speedup is not None:
+        worst = min(row["speedup"] for row in record["decomposition_build"])
+        if worst < args.require_speedup:
+            print(
+                f"FAIL: spqr decomposition-build speedup {worst:.2f}x "
+                f"< required {args.require_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# pytest shim: keep the E1 row in the combined benchmark report
+# ---------------------------------------------------------------------- #
+def test_e1_report_row():
+    """Small-size E1 run so ``pytest benchmarks/`` still prints the E1 table
+    alongside E2..E7 (the full-size gate is the __main__ entry point)."""
+    from benchmarks import reporting
+
+    record = run([64, 128], seed=1)
+    lines = [f"{'n':>6} {'spqr s':>10} {'splitpair s':>12} {'speedup':>9}"]
+    for row in record["decomposition_build"]:
+        assert row["speedup"] >= 1.0, "spqr engine lost to splitpair"
         lines.append(
-            f"{row['n']:>6} {row['p']:>8} {row['seconds']:>14.4f} "
-            f"{row['p_log_p']:>12.0f} {row['seconds'] / row['p_log_p']:>16.3e}"
+            f"{row['n']:>6} {row['spqr_seconds']:>10.3f} "
+            f"{row['splitpair_seconds']:>12.3f} {row['speedup']:>8.1f}x"
         )
-    reporting.register("E1  sequential scaling (divide-and-conquer solver)", lines)
+    lines.append("(full sizes: python benchmarks/bench_sequential_scaling.py)")
+    reporting.register(
+        "E1  sequential scaling (decomposition engines + solver)", lines
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

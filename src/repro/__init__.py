@@ -30,6 +30,12 @@ instances and independent connected components out over a process pool:
 >>> results = solve_many([m.row_ensemble()])   # serial; processes=0 for all CPUs
 >>> results[0].ok
 True
+
+Orthogonally, ``engine="spqr"`` (the default) or ``engine="splitpair"``
+selects the Tutte decomposition engine used by the combine step: the
+near-linear Hopcroft–Tarjan-style palm-tree engine (:mod:`repro.graph.spqr`)
+or the polynomial split-pair reference search it is differentially verified
+against (see DESIGN.md, substitution 3).
 """
 
 from .ensemble import (
@@ -42,6 +48,7 @@ from .ensemble import (
 from .matrix import BinaryMatrix
 from .batch import BatchResult, solve_many
 from .core import (
+    ENGINES,
     IndexedEnsemble,
     KERNELS,
     SolverStats,
@@ -72,6 +79,7 @@ __all__ = [
     "BatchResult",
     "solve_many",
     "KERNELS",
+    "ENGINES",
     "SolverStats",
     "path_realization",
     "cycle_realization",

@@ -79,11 +79,14 @@ class _Task:
     ensemble: Ensemble
     circular: bool
     kernel: str
+    engine: str | None
 
 
 def _solve_task(task: _Task) -> tuple[int, int, list | None]:
     solve = cycle_realization if task.circular else path_realization
-    return task.index, task.part, solve(task.ensemble, kernel=task.kernel)
+    return task.index, task.part, solve(
+        task.ensemble, kernel=task.kernel, engine=task.engine
+    )
 
 
 def _linear_component_ensembles(ensemble: Ensemble) -> list[Ensemble]:
@@ -118,6 +121,7 @@ def solve_many(
     circular: bool = False,
     processes: int | None = None,
     kernel: str = "indexed",
+    engine: str | None = None,
     split_components: bool = True,
 ) -> list[BatchResult]:
     """Solve every ensemble, optionally fanning work out over processes.
@@ -134,6 +138,10 @@ def solve_many(
         the worker count.  A single-task workload always runs serially.
     kernel:
         Execution engine per task, as in :func:`repro.core.path_realization`.
+    engine:
+        Tutte decomposition engine per task ("spqr" / "splitpair" /
+        ``None`` for the default); carried inside each task so pool workers
+        honour the selection too.
     split_components:
         For linear instances, dispatch independent connected components as
         separate pool tasks and concatenate their layouts.  Circular
@@ -153,7 +161,7 @@ def solve_many(
         else:
             subs = [ensemble]
         for part, sub in enumerate(subs):
-            tasks.append(_Task(index, part, sub, circular, kernel))
+            tasks.append(_Task(index, part, sub, circular, kernel, engine))
         parts_per_instance.append(len(subs))
 
     workers = _resolve_workers(processes, max(1, len(tasks)))

@@ -26,7 +26,8 @@ import time
 from typing import Sequence
 
 from .batch import solve_many
-from .core import cycle_realization, path_realization
+from .core import ENGINES, cycle_realization, path_realization
+from .tutte.decomposition import resolve_engine
 from .matrix import BinaryMatrix
 
 __all__ = ["main", "batch_main", "parse_matrix_text"]
@@ -81,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--circular", action="store_true", help="test the circular-ones property instead"
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="Tutte decomposition engine for the combine step "
+        "(default: spqr, the near-linear palm-tree engine)",
+    )
     parser.add_argument("--quiet", action="store_true", help="print only the order (or NO)")
     return parser
 
@@ -107,6 +115,13 @@ def _build_batch_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--circular", action="store_true", help="test the circular-ones property instead"
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="Tutte decomposition engine for the combine step "
+        "(default: spqr, the near-linear palm-tree engine)",
+    )
     parser.add_argument("--quiet", action="store_true", help="print only per-file results")
     parser.add_argument(
         "--json", metavar="PATH", help="also write per-instance results and timings to PATH"
@@ -128,7 +143,10 @@ def batch_main(argv: Sequence[str]) -> int:
 
     start = time.perf_counter()
     results = solve_many(
-        ensembles, circular=args.circular, processes=args.processes
+        ensembles,
+        circular=args.circular,
+        processes=args.processes,
+        engine=args.engine,
     )
     elapsed = time.perf_counter() - start
 
@@ -155,6 +173,7 @@ def batch_main(argv: Sequence[str]) -> int:
             "instances_per_second": rate,
             "processes": args.processes,
             "circular": args.circular,
+            "engine": resolve_engine(args.engine),
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, default=str)
@@ -178,7 +197,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     matrix = BinaryMatrix(parse_matrix_text(text))
     ensemble = matrix.column_ensemble() if args.columns else matrix.row_ensemble()
     solve = cycle_realization if args.circular else path_realization
-    order = solve(ensemble)
+    order = solve(ensemble, engine=args.engine)
 
     if order is None:
         print("NO" if args.quiet else "The matrix does NOT have the requested property.")

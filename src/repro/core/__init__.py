@@ -16,6 +16,7 @@
 from .indexed import IndexedEnsemble, solve_cycle_indexed, solve_path_indexed
 from .instrument import SolverStats
 from .solver import (
+    ENGINES,
     KERNELS,
     cycle_realization,
     find_circular_ones_order,
@@ -29,6 +30,7 @@ __all__ = [
     "SolverStats",
     "IndexedEnsemble",
     "KERNELS",
+    "ENGINES",
     "path_realization",
     "cycle_realization",
     "find_consecutive_ones_order",

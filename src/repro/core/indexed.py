@@ -212,16 +212,24 @@ class IndexedEnsemble:
     # ------------------------------------------------------------------ #
     # solving
     # ------------------------------------------------------------------ #
-    def solve_path(self, stats: SolverStats | None = None) -> list[Atom] | None:
-        """A consecutive-ones layout in atom labels, or ``None``."""
-        order = solve_path_indexed(self, stats)
+    def solve_path(
+        self, stats: SolverStats | None = None, *, engine: str | None = None
+    ) -> list[Atom] | None:
+        """A consecutive-ones layout in atom labels, or ``None``.
+
+        ``engine`` selects the Tutte decomposition engine used by the merge
+        ladder's full-alignment fallback (``None`` = the default, "spqr").
+        """
+        order = solve_path_indexed(self, stats, engine=engine)
         if order is None:
             return None
         return [self.atoms[i] for i in order]
 
-    def solve_cycle(self, stats: SolverStats | None = None) -> list[Atom] | None:
+    def solve_cycle(
+        self, stats: SolverStats | None = None, *, engine: str | None = None
+    ) -> list[Atom] | None:
         """A circular-ones layout in atom labels, or ``None``."""
-        order = solve_cycle_indexed(self, stats)
+        order = solve_cycle_indexed(self, stats, engine=engine)
         if order is None:
             return None
         return [self.atoms[i] for i in order]
@@ -282,13 +290,20 @@ def _components(avail: int, columns: Sequence[int]) -> list[int]:
 
 
 class _KernelContext:
-    """Mutable per-solve state: stats plus a fresh-atom index allocator."""
+    """Mutable per-solve state: stats, the decomposition engine selection and
+    a fresh-atom index allocator."""
 
-    __slots__ = ("stats", "next_index")
+    __slots__ = ("stats", "next_index", "engine")
 
-    def __init__(self, stats: SolverStats | None, num_atoms: int) -> None:
+    def __init__(
+        self,
+        stats: SolverStats | None,
+        num_atoms: int,
+        engine: str | None = None,
+    ) -> None:
         self.stats = stats
         self.next_index = num_atoms
+        self.engine = engine
 
     def alloc(self) -> int:
         index = self.next_index
@@ -450,7 +465,9 @@ def _cycle_rec(
     if order2 is None:
         return None
 
-    merged = merge_cycle_masks(order1, order2, normalised, stats=ctx.stats)
+    merged = merge_cycle_masks(
+        order1, order2, normalised, stats=ctx.stats, engine=ctx.engine
+    )
     if merged is None:
         return None
     if not (
@@ -525,6 +542,7 @@ def _merge_path_kernel(
         x,
         [frozenset(mask_to_indices(c)) for c in columns],
         stats=ctx.stats,
+        engine=ctx.engine,
     )
 
 
@@ -600,16 +618,22 @@ def _anchored_resolve(
 # kernel entry points
 # ---------------------------------------------------------------------- #
 def solve_path_indexed(
-    indexed: IndexedEnsemble, stats: SolverStats | None = None
+    indexed: IndexedEnsemble,
+    stats: SolverStats | None = None,
+    *,
+    engine: str | None = None,
 ) -> list[int] | None:
     """A consecutive-ones layout as atom indices, or ``None``."""
-    ctx = _KernelContext(stats, indexed.num_atoms)
+    ctx = _KernelContext(stats, indexed.num_atoms, engine)
     return _path_rec(indexed.universe_mask, list(indexed.masks), ctx, 0)
 
 
 def solve_cycle_indexed(
-    indexed: IndexedEnsemble, stats: SolverStats | None = None
+    indexed: IndexedEnsemble,
+    stats: SolverStats | None = None,
+    *,
+    engine: str | None = None,
 ) -> list[int] | None:
     """A circular-ones layout as atom indices, or ``None``."""
-    ctx = _KernelContext(stats, indexed.num_atoms)
+    ctx = _KernelContext(stats, indexed.num_atoms, engine)
     return _cycle_rec(indexed.universe_mask, list(indexed.masks), ctx, 0)

@@ -29,10 +29,16 @@ class SolverStats:
     shapes_per_level: dict[int, list[tuple[int, int, int]]] = field(default_factory=dict)
     #: how many times each divide case fired
     case_counts: dict[str, int] = field(default_factory=dict)
-    #: number of simple decompositions (splits) performed by Tutte builds
+    #: number of simple decompositions (splits) performed by Tutte builds.
+    #: NOTE: engine-dependent — the "spqr" and "splitpair" engines may reach
+    #: the canonical decomposition through different split sequences; compare
+    #: ``tutte_members`` across engines instead.
     tutte_splits: int = 0
     #: number of Tutte decompositions built
     tutte_builds: int = 0
+    #: total members over all decompositions built (engine-independent: the
+    #: canonical decomposition is unique, so both engines record the same)
+    tutte_members: int = 0
     #: number of alignment plans attempted
     alignments: int = 0
     #: number of merge candidates verified against the GAP/GAC conditions
@@ -74,6 +80,7 @@ class SolverStats:
             "case_counts": dict(self.case_counts),
             "tutte_builds": self.tutte_builds,
             "tutte_splits": self.tutte_splits,
+            "tutte_members": self.tutte_members,
             "alignments": self.alignments,
             "merge_candidates": self.merge_candidates,
             "merges": self.merges,

@@ -57,17 +57,24 @@ def _build_decomposition(
     constraint_sets: Sequence[frozenset],
     target_sets: Sequence[frozenset],
     stats: SolverStats | None,
+    engine: str | None = None,
 ) -> tuple[RealizationGraph, TutteDecomposition, list[int]] | None:
-    """The realization graph, its Tutte decomposition and the target chords."""
+    """The realization graph, its Tutte decomposition and the target chords.
+
+    ``engine`` selects the decomposition engine (see
+    :meth:`~repro.tutte.decomposition.TutteDecomposition.build`); ``None``
+    uses the default ("spqr").
+    """
     chords = list(constraint_sets) + list(target_sets)
     real = RealizationGraph(order, chords)
     try:
-        deco = TutteDecomposition.build(real.graph)
+        deco = TutteDecomposition.build(real.graph, engine=engine)
     except GraphError:
         return None
     if stats is not None:
         stats.tutte_builds += 1
         stats.tutte_splits += deco.split_count
+        stats.tutte_members += len(deco.members)
     target_eids: list[int] = []
     seen: set[int] = set()
     for tset in target_sets:
@@ -87,6 +94,7 @@ def anchored_candidates(
     target_sets: Sequence[frozenset],
     *,
     stats: SolverStats | None = None,
+    engine: str | None = None,
 ) -> list[list[Atom]]:
     """Realization orders in which the target sets are anchored at the ends.
 
@@ -103,7 +111,7 @@ def anchored_candidates(
     live_targets = [t for t in target_sets if t and len(t) < len(order)]
     if not live_targets or len(order) <= 2:
         return candidates
-    built = _build_decomposition(order, constraint_sets, live_targets, stats)
+    built = _build_decomposition(order, constraint_sets, live_targets, stats, engine)
     if built is None:
         return candidates
     real, deco, target_eids = built
@@ -171,6 +179,7 @@ def _common_vertex_candidates(
     crossing_sets: Sequence[frozenset],
     *,
     stats: SolverStats | None = None,
+    engine: str | None = None,
 ) -> list[list[Atom]]:
     """Orders in which the crossing columns admit a single split vertex.
 
@@ -183,7 +192,7 @@ def _common_vertex_candidates(
     live = [t for t in crossing_sets if t and len(t) < len(order)]
     if not live or len(order) <= 2:
         return candidates
-    built = _build_decomposition(order, constraint_sets, live, stats)
+    built = _build_decomposition(order, constraint_sets, live, stats, engine)
     if built is None:
         return candidates
     real, deco, target_eids = built
@@ -305,6 +314,7 @@ def merge_path(
     columns: Sequence[frozenset],
     *,
     stats: SolverStats | None = None,
+    engine: str | None = None,
 ) -> list[Atom] | None:
     """Merge realizations of ``(A1, C1)`` and ``(A2, C2)`` into one of ``(A, C)``.
 
@@ -331,7 +341,9 @@ def merge_path(
     # --- side 1: GAP condition (1) -------------------------------------- #
     constraints1 = [frozenset(c & a1) for c in columns if len(c & a1) >= 2 and not a1 <= c]
     targets1 = [frozenset(c & a1) for c in type_b]
-    cands1 = anchored_candidates(order1, constraints1, targets1, stats=stats)
+    cands1 = anchored_candidates(
+        order1, constraints1, targets1, stats=stats, engine=engine
+    )
     cands1 = [
         o for o in cands1 if all(is_prefix_or_suffix(o, t) for t in targets1)
     ]
@@ -351,7 +363,9 @@ def merge_path(
             frozenset(c & a2) for c in columns if len(c & a2) >= 2 and not a2 <= c
         ]
         targets2 = [frozenset(c & a2) for c in crossing if (c & a2) != a2]
-        for cand in anchored_candidates(order2, constraints2, targets2, stats=stats):
+        for cand in anchored_candidates(
+            order2, constraints2, targets2, stats=stats, engine=engine
+        ):
             if not all(is_prefix_or_suffix(cand, t) for t in targets2):
                 continue
             pairs.append((list(cand), 0))
@@ -379,6 +393,7 @@ def merge_cycle(
     columns: Sequence[frozenset],
     *,
     stats: SolverStats | None = None,
+    engine: str | None = None,
 ) -> list[Atom] | None:
     """Glue two path realizations into a circular realization (GAC conditions).
 
@@ -396,9 +411,13 @@ def merge_cycle(
     constraints2 = [frozenset(c & a2) for c in columns if len(c & a2) >= 2 and not a2 <= c]
     targets2 = [frozenset(c & a2) for c in crossing if not a2 <= c]
 
-    cands1 = anchored_candidates(order1, constraints1, targets1, stats=stats)
+    cands1 = anchored_candidates(
+        order1, constraints1, targets1, stats=stats, engine=engine
+    )
     cands1 = [o for o in cands1 if all(is_prefix_or_suffix(o, t) for t in targets1)]
-    cands2 = anchored_candidates(order2, constraints2, targets2, stats=stats)
+    cands2 = anchored_candidates(
+        order2, constraints2, targets2, stats=stats, engine=engine
+    )
     cands2 = [o for o in cands2 if all(is_prefix_or_suffix(o, t) for t in targets2)]
     if not cands1 or not cands2:
         return None
@@ -462,6 +481,7 @@ def merge_path_masks(
     columns: Sequence[int],
     *,
     stats: SolverStats | None = None,
+    engine: str | None = None,
 ) -> list[int] | None:
     """Mask version of :func:`merge_path`: integer atoms, bitmask columns."""
     order2_augmented = list(order2_augmented)
@@ -481,6 +501,7 @@ def merge_path_masks(
         split_index,
         [frozenset(mask_to_indices(c)) for c in columns],
         stats=stats,
+        engine=engine,
     )
 
 
@@ -490,6 +511,7 @@ def merge_cycle_masks(
     columns: Sequence[int],
     *,
     stats: SolverStats | None = None,
+    engine: str | None = None,
 ) -> list[int] | None:
     """Mask version of :func:`merge_cycle`: integer atoms, bitmask columns."""
     a1 = mask_from_indices(order1)
@@ -511,4 +533,5 @@ def merge_cycle_masks(
         list(order2),
         [frozenset(mask_to_indices(c)) for c in columns],
         stats=stats,
+        engine=engine,
     )

@@ -28,6 +28,13 @@ keyword of the public functions:
   (:mod:`repro.core.indexed`), avoiding per-node container revalidation;
 * ``"reference"`` runs the original label-level recursion below, which stays
   the executable specification the kernel is verified against.
+
+Orthogonally, the ``engine`` keyword selects how the combine step's Tutte
+decompositions are built (``"spqr"``, the near-linear palm-tree engine, or
+``"splitpair"``, the polynomial reference search); ``None`` defers to
+:data:`repro.tutte.decomposition.DEFAULT_ENGINE`.  Both engines produce the
+identical canonical decomposition, so the kernel/engine grid is a pure
+performance choice.
 """
 
 from __future__ import annotations
@@ -53,10 +60,14 @@ __all__ = [
     "has_consecutive_ones",
     "has_circular_ones",
     "KERNELS",
+    "ENGINES",
 ]
 
 #: the recognised values of the public ``kernel`` keyword
 KERNELS = ("indexed", "reference")
+
+# re-exported for convenience: the recognised decomposition engines
+from ..tutte.decomposition import ENGINES, resolve_engine as _resolve_engine
 
 
 def _check_kernel(kernel: str) -> None:
@@ -112,20 +123,23 @@ def path_realization(
     stats: SolverStats | None = None,
     *,
     kernel: str = "indexed",
+    engine: str | None = None,
 ) -> list[Atom] | None:
     """A consecutive-ones layout of ``ensemble``, or ``None`` if none exists."""
     _check_kernel(kernel)
+    _resolve_engine(engine)
     if kernel == "indexed":
         from .indexed import IndexedEnsemble
 
-        return IndexedEnsemble.from_ensemble(ensemble).solve_path(stats)
-    return _path_realization_reference(ensemble, stats)
+        return IndexedEnsemble.from_ensemble(ensemble).solve_path(stats, engine=engine)
+    return _path_realization_reference(ensemble, stats, engine=engine)
 
 
 def _path_realization_reference(
     ensemble: Ensemble,
     stats: SolverStats | None = None,
     *,
+    engine: str | None = None,
     _depth: int = 0,
 ) -> list[Atom] | None:
     """The label-level reference recursion (the seed implementation)."""
@@ -150,7 +164,9 @@ def _path_realization_reference(
         order: list[Atom] = []
         for comp in components:
             sub = working.restrict(comp)
-            sub_order = _path_realization_reference(sub, stats, _depth=_depth + 1)
+            sub_order = _path_realization_reference(
+                sub, stats, engine=engine, _depth=_depth + 1
+            )
             if sub_order is None:
                 return None
             order.extend(sub_order)
@@ -164,7 +180,9 @@ def _path_realization_reference(
         # Case 2b: Tucker transform and circular solve (Section 3.2).
         r = _TransformAtom()
         transformed = working.tucker_transform(r)
-        circ = _cycle_realization_reference(transformed, stats, _depth=_depth + 1)
+        circ = _cycle_realization_reference(
+            transformed, stats, engine=engine, _depth=_depth + 1
+        )
         if circ is None:
             return None
         idx = circ.index(r)
@@ -179,7 +197,7 @@ def _path_realization_reference(
         stats.record_split(n, len(a1))
 
     sub1 = working.restrict(a1)
-    order1 = _path_realization_reference(sub1, stats, _depth=_depth + 1)
+    order1 = _path_realization_reference(sub1, stats, engine=engine, _depth=_depth + 1)
     if order1 is None:
         return None
 
@@ -212,11 +230,13 @@ def _path_realization_reference(
             if part != a2:
                 augmented_columns.append(frozenset(part | {x}))
     sub2_aug = Ensemble(sub2.atoms + (x,), tuple(augmented_columns))
-    order2_aug = _path_realization_reference(sub2_aug, stats, _depth=_depth + 1)
+    order2_aug = _path_realization_reference(
+        sub2_aug, stats, engine=engine, _depth=_depth + 1
+    )
     if order2_aug is None:
         return None
 
-    merged = merge_path(order1, order2_aug, x, columns, stats=stats)
+    merged = merge_path(order1, order2_aug, x, columns, stats=stats, engine=engine)
     if merged is None:
         return None
     if not verify_linear_layout(working, merged):  # pragma: no cover - safety net
@@ -232,20 +252,23 @@ def cycle_realization(
     stats: SolverStats | None = None,
     *,
     kernel: str = "indexed",
+    engine: str | None = None,
 ) -> list[Atom] | None:
     """A circular-ones layout of ``ensemble``, or ``None`` if none exists."""
     _check_kernel(kernel)
+    _resolve_engine(engine)
     if kernel == "indexed":
         from .indexed import IndexedEnsemble
 
-        return IndexedEnsemble.from_ensemble(ensemble).solve_cycle(stats)
-    return _cycle_realization_reference(ensemble, stats)
+        return IndexedEnsemble.from_ensemble(ensemble).solve_cycle(stats, engine=engine)
+    return _cycle_realization_reference(ensemble, stats, engine=engine)
 
 
 def _cycle_realization_reference(
     ensemble: Ensemble,
     stats: SolverStats | None = None,
     *,
+    engine: str | None = None,
     _depth: int = 0,
 ) -> list[Atom] | None:
     """The label-level reference recursion (the seed implementation)."""
@@ -285,7 +308,9 @@ def _cycle_realization_reference(
         order: list[Atom] = []
         for comp in components:
             sub = working.restrict(comp)
-            sub_order = _path_realization_reference(sub, stats, _depth=_depth + 1)
+            sub_order = _path_realization_reference(
+                sub, stats, engine=engine, _depth=_depth + 1
+            )
             if sub_order is None:
                 return None
             order.extend(sub_order)
@@ -307,14 +332,14 @@ def _cycle_realization_reference(
 
     sub1 = working.restrict(a1)
     sub2 = working.restrict(a2)
-    order1 = _path_realization_reference(sub1, stats, _depth=_depth + 1)
+    order1 = _path_realization_reference(sub1, stats, engine=engine, _depth=_depth + 1)
     if order1 is None:
         return None
-    order2 = _path_realization_reference(sub2, stats, _depth=_depth + 1)
+    order2 = _path_realization_reference(sub2, stats, engine=engine, _depth=_depth + 1)
     if order2 is None:
         return None
 
-    merged = merge_cycle(order1, order2, normalised, stats=stats)
+    merged = merge_cycle(order1, order2, normalised, stats=stats, engine=engine)
     if merged is None:
         return None
     if not verify_circular_layout(working, merged):  # pragma: no cover - safety net
@@ -326,28 +351,44 @@ def _cycle_realization_reference(
 # convenience wrappers
 # ---------------------------------------------------------------------- #
 def find_consecutive_ones_order(
-    ensemble: Ensemble, stats: SolverStats | None = None, *, kernel: str = "indexed"
+    ensemble: Ensemble,
+    stats: SolverStats | None = None,
+    *,
+    kernel: str = "indexed",
+    engine: str | None = None,
 ) -> list[Atom] | None:
     """Alias of :func:`path_realization` (kept for API symmetry)."""
-    return path_realization(ensemble, stats, kernel=kernel)
+    return path_realization(ensemble, stats, kernel=kernel, engine=engine)
 
 
 def find_circular_ones_order(
-    ensemble: Ensemble, stats: SolverStats | None = None, *, kernel: str = "indexed"
+    ensemble: Ensemble,
+    stats: SolverStats | None = None,
+    *,
+    kernel: str = "indexed",
+    engine: str | None = None,
 ) -> list[Atom] | None:
     """Alias of :func:`cycle_realization`."""
-    return cycle_realization(ensemble, stats, kernel=kernel)
+    return cycle_realization(ensemble, stats, kernel=kernel, engine=engine)
 
 
 def has_consecutive_ones(
-    ensemble: Ensemble, stats: SolverStats | None = None, *, kernel: str = "indexed"
+    ensemble: Ensemble,
+    stats: SolverStats | None = None,
+    *,
+    kernel: str = "indexed",
+    engine: str | None = None,
 ) -> bool:
     """Decision version of the consecutive-ones property."""
-    return path_realization(ensemble, stats, kernel=kernel) is not None
+    return path_realization(ensemble, stats, kernel=kernel, engine=engine) is not None
 
 
 def has_circular_ones(
-    ensemble: Ensemble, stats: SolverStats | None = None, *, kernel: str = "indexed"
+    ensemble: Ensemble,
+    stats: SolverStats | None = None,
+    *,
+    kernel: str = "indexed",
+    engine: str | None = None,
 ) -> bool:
     """Decision version of the circular-ones property."""
-    return cycle_realization(ensemble, stats, kernel=kernel) is not None
+    return cycle_realization(ensemble, stats, kernel=kernel, engine=engine) is not None

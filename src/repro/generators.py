@@ -192,18 +192,21 @@ def tucker_m2(k: int = 1, prefix: str = "t") -> Ensemble:
 
 
 def tucker_m3(k: int = 1, prefix: str = "t") -> Ensemble:
-    """Tucker's ``M_III(k)``, k >= 1: atoms ``t0 .. t(k+2)``.
+    """Tucker's ``M_III(k)``, k >= 1: atoms ``t0 .. t(k+2)``, k+2 columns.
 
-    Columns: the k+1 consecutive pairs ``{t_i, t_{i+1}}`` (i = 0..k), the
-    column ``{t1, ..., t_{k+1}, t_{k+2}}`` and the column ``{t0, t_{k+2}}``.
+    Columns: the k+1 consecutive pairs ``{t_i, t_{i+1}}`` (i = 0..k) and the
+    column ``{t1, ..., tk, t_{k+2}}`` (for k = 1 this is the star
+    ``{t0,t1}, {t1,t2}, {t1,t3}``).  This is the *minimal* (k+2) x (k+3)
+    form: deleting any row or matrix column leaves a C1P matrix (asserted by
+    the corpus tests against the brute-force oracle; an earlier revision
+    shipped a non-minimal k+3-row variant).
     """
     if k < 1:
         raise ValueError("k must be >= 1")
     n = k + 3
     a = tuple(f"{prefix}{i}" for i in range(n))
     cols = [frozenset({a[i], a[i + 1]}) for i in range(k + 1)]
-    cols.append(frozenset(set(a[1 : k + 2]) | {a[k + 2]}))
-    cols.append(frozenset({a[0], a[k + 2]}))
+    cols.append(frozenset(set(a[1 : k + 1]) | {a[k + 2]}))
     return Ensemble(a, tuple(cols))
 
 
@@ -220,19 +223,19 @@ def tucker_m4(prefix: str = "t") -> Ensemble:
 
 
 def tucker_m5(prefix: str = "t") -> Ensemble:
-    """A fixed 4-atom, 3-column forbidden configuration (stand-in for Tucker's M_V).
+    """Tucker's ``M_V``: the fixed 4-row x 5-column minimal configuration.
 
-    The columns are the three overlapping triples ``{0,1,2}``, ``{1,2,3}`` and
-    ``{0,2,3}``: any layout of four atoms can host at most two of them as
-    contiguous blocks, so the configuration is not consecutive-ones.  It plays
-    the same role as Tucker's fixed configuration M_V in our generators and
-    tests (a constant-size certificate of non-C1P-ness).
+    Columns (as atom sets): ``{t0,t1}``, ``{t2,t3}``, ``{t0,t1,t2,t3}`` and
+    ``{t0,t2,t4}`` — the true minimal M_V, verified against an exhaustive
+    enumeration of 4x5 minimal non-C1P matrices (an earlier revision shipped
+    a non-minimal 4-atom stand-in).
     """
-    a = tuple(f"{prefix}{i}" for i in range(4))
+    a = tuple(f"{prefix}{i}" for i in range(5))
     cols = (
-        frozenset({a[0], a[1], a[2]}),
-        frozenset({a[1], a[2], a[3]}),
-        frozenset({a[0], a[2], a[3]}),
+        frozenset({a[0], a[1]}),
+        frozenset({a[2], a[3]}),
+        frozenset({a[0], a[1], a[2], a[3]}),
+        frozenset({a[0], a[2], a[4]}),
     )
     return Ensemble(a, cols)
 

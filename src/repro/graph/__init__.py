@@ -15,6 +15,12 @@ from .traversal import (
     is_connected,
 )
 from .separation import find_two_separation, is_triconnected, TwoSeparation
+from .spqr import (
+    PalmTree,
+    build_palm_tree,
+    fast_two_separation,
+    spqr_two_separation,
+)
 
 __all__ = [
     "Edge",
@@ -27,4 +33,8 @@ __all__ = [
     "find_two_separation",
     "is_triconnected",
     "TwoSeparation",
+    "PalmTree",
+    "build_palm_tree",
+    "fast_two_separation",
+    "spqr_two_separation",
 ]

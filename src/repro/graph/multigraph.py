@@ -120,6 +120,23 @@ class MultiGraph:
         for v in [v for v, inc in self._adj.items() if not inc]:
             del self._adj[v]
 
+    def remove_edges(self, eids: Iterable[int]) -> None:
+        """Remove the given edges, pruning endpoints left without any edge.
+
+        The in-place counterpart of :meth:`subgraph_from_edges` over the
+        complementary edge set: used by the decomposition engines to peel a
+        small separation side off a large working graph without copying the
+        large side.
+        """
+        touched = set()
+        for eid in eids:
+            edge = self.remove_edge(eid)
+            touched.add(edge.u)
+            touched.add(edge.v)
+        for v in touched:
+            if not self._adj.get(v):
+                self._adj.pop(v, None)
+
     def copy(self) -> "MultiGraph":
         g = MultiGraph()
         g._edges = dict(self._edges)

@@ -15,9 +15,12 @@ Two kinds of separations are searched:
   forms ``E1``.
 
 Cut pairs are found by probing every vertex ``u`` and computing the
-articulation points of ``G - u``; this is :math:`O(n(n+m))` per query, which
-is the documented substitution for the linear-time Hopcroft–Tarjan machinery
-(see DESIGN.md, substitution 3).
+articulation points of ``G - u``; this is :math:`O(n(n+m))` per query.  The
+module is the ``"splitpair"`` decomposition engine — the executable
+reference specification that the near-linear palm-tree engine
+(:mod:`repro.graph.spqr`, the default) is differentially verified against,
+and the completeness fallback it delegates to (see DESIGN.md,
+substitution 3).
 """
 
 from __future__ import annotations

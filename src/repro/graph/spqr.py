@@ -1,0 +1,294 @@
+"""Hopcroft–Tarjan-style SPQR substrate: palm trees, lowpoints and fast
+2-separation location (the ``"spqr"`` engine of
+:meth:`repro.tutte.decomposition.TutteDecomposition.build`).
+
+The canonical Tutte decomposition is produced by repeatedly performing
+*simple decompositions* at 2-separations and finally merging adjacent
+bonds/polygons.  The cost of the construction is dominated by *locating* a
+2-separation of the current graph; the ``"splitpair"`` reference engine pays
+:math:`O(n(n+m))` per location query (articulation points of ``G - u`` for
+every vertex ``u``, see :mod:`repro.graph.separation`).  This module answers
+the same query in :math:`O(n + m)` for the overwhelming majority of graphs
+by combining three sound rules derived from the Hopcroft–Tarjan palm-tree
+machinery:
+
+1. **bond rule** — a parallel class of at least two edges (with at least two
+   edges remaining) splits off as a bond;
+2. **polygon rule** — a degree-2 vertex ``v`` with distinct neighbours
+   ``x, y`` yields the 2-separation ``({x, y}, {xv, vy})``: the two edges at
+   ``v`` split off as (the real half of) a triangle;
+3. **type-1 rule** — a palm-tree DFS with lowpoint computation is run and
+   Hopcroft–Tarjan *type-1* separation pairs are read off the lowpoints: a
+   tree arc ``b -> w`` with ``lowpt1(w) < num(b)``, ``lowpt2(w) >= num(b)``
+   and at least one vertex outside ``D(w) ∪ {a, b}`` separates the subtree
+   ``D(w)`` (plus its fronds, which can only reach ``a = lowpt1(w)`` and
+   ``b``) from the rest.
+
+Each rule produces a certified :class:`~repro.graph.separation.TwoSeparation`
+(the type-1 side is re-validated structurally before being returned, so a
+bookkeeping bug can never corrupt a decomposition).  The rules are *sound but
+not complete*: Hopcroft–Tarjan *type-2* pairs whose interior has minimum
+degree 3 are found by none of them.  :func:`spqr_two_separation` therefore
+falls back to the polynomial reference search when the fast rules come up
+empty — in practice the fallback fires almost exclusively on graphs that are
+already 3-connected, where it serves as the final certificate that no
+2-separation exists (a cost the reference engine pays for the same reason).
+See DESIGN.md ("SPQR engine") for the full deviation notes with respect to
+the published one-pass algorithm and the Gutwenger–Mutzel corrections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from .multigraph import MultiGraph
+from .separation import (
+    TwoSeparation,
+    _bond_separation,
+    _cut_pair_separation,
+)
+
+Vertex = Hashable
+
+__all__ = [
+    "PalmTree",
+    "build_palm_tree",
+    "fast_two_separation",
+    "spqr_two_separation",
+]
+
+
+@dataclass
+class PalmTree:
+    """A DFS palm tree with Hopcroft–Tarjan lowpoint annotations.
+
+    Attributes
+    ----------
+    num:
+        Vertex -> DFS discovery number (root is 0).  Only vertices reachable
+        from the root appear (all of them, for connected graphs).
+    vertex_at:
+        Inverse of ``num``: ``vertex_at[i]`` is the vertex numbered ``i``.
+    parent:
+        Vertex -> DFS tree parent (``None`` for the root).
+    parent_eid:
+        Vertex -> edge id of the tree arc from the parent (``None`` for the
+        root).
+    lowpt1, lowpt2:
+        Vertex -> the two lowest DFS numbers reachable from the vertex's
+        subtree by tree arcs plus at most one frond (``lowpt2`` is the second
+        lowest *distinct* value, the vertex's own number when no second exit
+        exists).
+    nd:
+        Vertex -> number of descendants (subtree size, including itself);
+        the subtree of ``w`` is exactly the DFS-number interval
+        ``[num[w], num[w] + nd[w])``.
+    """
+
+    num: dict
+    vertex_at: list
+    parent: dict
+    parent_eid: dict
+    lowpt1: dict
+    lowpt2: dict
+    nd: dict
+
+
+def build_palm_tree(graph: MultiGraph, root: Vertex | None = None) -> PalmTree:
+    """Iterative palm-tree DFS of a connected multigraph.
+
+    Parallel edges are handled the classic way: the tree arc to the parent is
+    skipped *by edge id*, so a parallel twin of the tree arc counts as a
+    frond back to the parent (and correctly lowers ``lowpt``).
+    """
+    if root is None:
+        root = next(iter(graph.vertices()))
+    num: dict = {root: 0}
+    vertex_at: list = [root]
+    parent: dict = {root: None}
+    parent_eid: dict = {root: None}
+    lowpt1: dict = {root: 0}
+    lowpt2: dict = {root: 0}
+    nd: dict = {}
+    counter = 1
+
+    stack = [(root, iter(graph.incident_edges(root)))]
+    while stack:
+        v, it = stack[-1]
+        advanced = False
+        for eid in it:
+            w = graph.edge(eid).other(v)
+            if w not in num:
+                num[w] = counter
+                vertex_at.append(w)
+                lowpt1[w] = counter
+                lowpt2[w] = counter
+                counter += 1
+                parent[w] = v
+                parent_eid[w] = eid
+                stack.append((w, iter(graph.incident_edges(w))))
+                advanced = True
+                break
+            if eid != parent_eid[v]:
+                # frond (or parallel twin of the tree arc): v -> w upward
+                nw = num[w]
+                if nw < lowpt1[v]:
+                    lowpt2[v] = lowpt1[v]
+                    lowpt1[v] = nw
+                elif nw > lowpt1[v]:
+                    lowpt2[v] = min(lowpt2[v], nw)
+        if not advanced:
+            stack.pop()
+            nd[v] = 1
+            # fold the finished child into its parent
+            if stack:
+                p, _ = stack[-1]
+                if lowpt1[v] < lowpt1[p]:
+                    lowpt2[p] = min(lowpt1[p], lowpt2[v])
+                    lowpt1[p] = lowpt1[v]
+                elif lowpt1[v] == lowpt1[p]:
+                    lowpt2[p] = min(lowpt2[p], lowpt2[v])
+                else:
+                    lowpt2[p] = min(lowpt2[p], lowpt1[v])
+    # subtree sizes bottom-up over the DFS numbering
+    for i in range(len(vertex_at) - 1, 0, -1):
+        w = vertex_at[i]
+        nd[parent[w]] = nd.get(parent[w], 1) + nd[w]
+    return PalmTree(num, vertex_at, parent, parent_eid, lowpt1, lowpt2, nd)
+
+
+# ---------------------------------------------------------------------- #
+# the three fast rules
+# ---------------------------------------------------------------------- #
+def _degree_two_separation(graph: MultiGraph) -> TwoSeparation | None:
+    """The polygon rule: split the two edges of a degree-2 vertex off.
+
+    Sound whenever the graph is 2-connected with at least four edges and the
+    neighbours ``x, y`` are distinct (a degree-2 vertex with coinciding
+    neighbours is a parallel pair, owned by the bond rule): ``x`` and ``y``
+    keep at least one edge each outside the split — their remaining edges
+    cannot touch ``v``, whose two edge slots are both in the split — and are
+    exactly the vertices shared by the two sides.
+    """
+    if graph.num_edges < 4:
+        return None
+    for v in graph.vertices():
+        inc = graph.incident_edges(v)
+        if len(inc) != 2:
+            continue
+        x = graph.edge(inc[0]).other(v)
+        y = graph.edge(inc[1]).other(v)
+        if x == y:  # a parallel pair; the bond rule owns this shape
+            continue
+        return TwoSeparation(x, y, frozenset(inc))
+    return None
+
+
+def _type_one_separation(
+    graph: MultiGraph, palm: PalmTree | None = None
+) -> TwoSeparation | None:
+    """A Hopcroft–Tarjan type-1 separation pair read off the palm tree.
+
+    For a tree arc ``b -> w`` with ``a = lowpt1(w) < num(b)`` and
+    ``lowpt2(w) >= num(b)``, every frond leaving the subtree ``D(w)`` lands
+    on ``a`` or ``b``, so the edges incident to ``D(w)`` (subtree edges,
+    fronds, and the tree arc itself) form one side of a 2-separation at
+    ``{a, b}`` — provided some vertex survives outside ``D(w) ∪ {a, b}`` and
+    at least two edges remain on the other side.  The computed side is
+    re-validated before being returned.
+    """
+    n = graph.num_vertices
+    if n < 4 or graph.num_edges < 4:
+        return None
+    if palm is None:
+        palm = build_palm_tree(graph)
+    num, nd = palm.num, palm.nd
+    for i in range(1, n):
+        w = palm.vertex_at[i]
+        b = palm.parent[w]
+        nb = num[b]
+        if nb == 0:  # a < num(b) needs b below the root
+            continue
+        a_num = palm.lowpt1[w]
+        if a_num >= nb or palm.lowpt2[w] < nb:
+            continue
+        if nd[w] > n - 3:  # no vertex would survive outside D(w) ∪ {a, b}
+            continue
+        lo, hi = i, i + nd[w]  # D(w) is the DFS-number interval [lo, hi)
+
+        def inside(x: Vertex) -> bool:
+            return lo <= num[x] < hi
+
+        side = frozenset(
+            eid
+            for eid, edge in ((e.eid, e) for e in graph.edges())
+            if inside(edge.u) or inside(edge.v)
+        )
+        if len(side) < 2 or graph.num_edges - len(side) < 2:
+            continue
+        a = palm.vertex_at[a_num]
+        # structural re-validation: the side's boundary must be exactly {a, b}
+        boundary = {
+            x
+            for eid in side
+            for x in (graph.edge(eid).u, graph.edge(eid).v)
+            if not inside(x)
+        }
+        if boundary != {a, b}:  # pragma: no cover - defensive
+            continue
+        return TwoSeparation(a, b, side)
+    return None
+
+
+def _rule_cascade(graph: MultiGraph) -> TwoSeparation | None:
+    """The three fast rules, cheapest first, on a pre-screened graph.
+
+    The polygon rule is the cheapest (one degree scan) and the most common
+    hit on realization graphs, so it runs before the parallel-class scan.
+    """
+    sep = _degree_two_separation(graph)
+    if sep is not None:
+        return sep
+    sep = _bond_separation(graph)
+    if sep is not None:
+        return sep
+    return _type_one_separation(graph)
+
+
+def _screened_out(graph: MultiGraph) -> bool:
+    """Graphs with no 2-separation by the size constraints: fewer than four
+    edges, bonds and polygons (mirroring
+    :func:`~repro.graph.separation.find_two_separation`)."""
+    return graph.num_edges < 4 or graph.is_bond() or graph.is_polygon()
+
+
+def fast_two_separation(graph: MultiGraph) -> TwoSeparation | None:
+    """A 2-separation located by the linear-time rules, or ``None``.
+
+    ``None`` means the fast rules found nothing — the graph may still have a
+    (type-2) 2-separation; use :func:`spqr_two_separation` for a complete
+    answer.  Bonds and polygons have no 2-separation and return ``None``
+    immediately, mirroring :func:`~repro.graph.separation.find_two_separation`.
+    """
+    if _screened_out(graph):
+        return None
+    return _rule_cascade(graph)
+
+
+def spqr_two_separation(graph: MultiGraph) -> TwoSeparation | None:
+    """A 2-separation of ``graph``, or ``None`` when it is 3-connected.
+
+    Drop-in replacement for
+    :func:`~repro.graph.separation.find_two_separation` (same contract, same
+    ``None`` semantics on bonds and polygons): the fast palm-tree rules are
+    tried first; the polynomial cut-pair probe runs only when they find
+    nothing, which keeps the answer complete for the rare type-2-only
+    configurations and certifies 3-connectedness of finished members.
+    """
+    if _screened_out(graph):
+        return None
+    sep = _rule_cascade(graph)
+    if sep is not None:
+        return sep
+    return _cut_pair_separation(graph)

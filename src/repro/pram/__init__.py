@@ -37,6 +37,8 @@ from .costmodel import (
     paper_depth_bound,
     paper_processor_bound,
     prior_work_comparison,
+    sequential_tutte_build_work,
+    sequential_tutte_query_work,
 )
 from .parallel_solver import ParallelReport, parallel_path_realization
 
@@ -55,6 +57,8 @@ __all__ = [
     "klein_processors",
     "chen_yesha_processors",
     "prior_work_comparison",
+    "sequential_tutte_query_work",
+    "sequential_tutte_build_work",
     "ParallelReport",
     "parallel_path_realization",
 ]

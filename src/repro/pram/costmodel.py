@@ -32,6 +32,8 @@ __all__ = [
     "fussell_tutte_depth",
     "fussell_tutte_processors",
     "fussell_tutte_work",
+    "sequential_tutte_query_work",
+    "sequential_tutte_build_work",
     "paper_depth_bound",
     "paper_processor_bound",
     "paper_processor_bound_dense",
@@ -70,6 +72,36 @@ def fussell_tutte_processors(n: int, m: int) -> int:
 def fussell_tutte_work(n: int, m: int) -> int:
     """Work = depth × processors for the charged decomposition."""
     return fussell_tutte_depth(n) * fussell_tutte_processors(n, m)
+
+
+# ---------------------------------------------------------------------- #
+# the *sequential* substrate actually run by this reproduction
+# ---------------------------------------------------------------------- #
+def sequential_tutte_query_work(n: int, m: int, engine: str = "spqr") -> int:
+    """Work charged for one 2-separation location query (constants one).
+
+    The ``"spqr"`` engine (palm-tree DFS + lowpoint rules,
+    :mod:`repro.graph.spqr`) answers a query in ``O(n + m)``; the
+    ``"splitpair"`` reference search probes every vertex and recomputes
+    articulation points, ``O(n(n+m))`` (see :mod:`repro.graph.separation`).
+    These are the numbers the sequential-scaling benchmark compares against
+    the measured decomposition-build times.
+    """
+    if engine == "spqr":
+        return max(1, n + m)
+    if engine == "splitpair":
+        return max(1, n * (n + m))
+    raise ValueError(f"unknown decomposition engine {engine!r}")
+
+
+def sequential_tutte_build_work(n: int, m: int, engine: str = "spqr") -> int:
+    """Work charged for one full decomposition build (``O(m)`` queries).
+
+    A build performs one location query per simple decomposition plus the
+    final confirmations; the number of simple decompositions is bounded by
+    the number of members, i.e. ``O(m)``.
+    """
+    return max(1, m) * sequential_tutte_query_work(n, m, engine)
 
 
 # ---------------------------------------------------------------------- #

@@ -125,17 +125,24 @@ def _schedule_subproblem(ensemble: Ensemble) -> tuple[int, int, int]:
     return machine.depth, machine.work, machine.max_processors
 
 
-def parallel_path_realization(ensemble: Ensemble, *, kernel: str = "indexed") -> ParallelReport:
+def parallel_path_realization(
+    ensemble: Ensemble, *, kernel: str = "indexed", engine: str | None = None
+) -> ParallelReport:
     """Run the solver and produce the level-synchronous PRAM accounting.
 
     ``kernel`` selects the execution engine (see
-    :func:`repro.core.solver.path_realization`); the accounting below depends
-    only on the recorded subproblem shapes, and both kernels record the same
-    Fig. 3 recursion tree (the indexed kernel keeps its internal merge-tier
-    re-solves out of the stats).
+    :func:`repro.core.solver.path_realization`) and ``engine`` the Tutte
+    decomposition engine of the combine step; the accounting below depends
+    only on the recorded subproblem shapes, and every kernel/engine
+    combination records the same Fig. 3 recursion tree (the indexed kernel
+    keeps its internal merge-tier re-solves out of the stats, and the
+    decomposition engines differ only in how they locate splits).  The
+    parallel Tutte step stays charged at the Fussell et al. bound either way;
+    the *sequential* substrate cost the engines change is modelled by
+    :func:`repro.pram.costmodel.sequential_tutte_build_work`.
     """
     stats = SolverStats()
-    order = path_realization(ensemble, stats, kernel=kernel)
+    order = path_realization(ensemble, stats, kernel=kernel, engine=engine)
     report = ParallelReport(
         order=order,
         n=ensemble.num_atoms,

@@ -15,13 +15,15 @@ of an ensemble.  The package provides
 """
 
 from .members import Member, MemberKind
-from .decomposition import TutteDecomposition
+from .decomposition import DEFAULT_ENGINE, ENGINES, TutteDecomposition
 from .compose import ComposeChoices, compose
 
 __all__ = [
     "Member",
     "MemberKind",
     "TutteDecomposition",
+    "ENGINES",
+    "DEFAULT_ENGINE",
     "ComposeChoices",
     "compose",
 ]

@@ -8,9 +8,25 @@ merge any two bonds (or two polygons) that share a marker edge.  The result
 is the unique canonical decomposition of Cunningham–Edmonds / Hopcroft–Tarjan
 into bonds, polygons and 3-connected members.
 
-The linear-time Hopcroft–Tarjan algorithm is replaced by a simpler polynomial
-split-pair search (see DESIGN.md, substitution 3); the produced decomposition
-is the same object.
+Two interchangeable *engines* locate the 2-separations (the ``engine``
+keyword of :meth:`TutteDecomposition.build`, mirroring the
+``kernel="indexed"|"reference"`` pattern of the solvers):
+
+* ``"spqr"`` (the default) uses the Hopcroft–Tarjan palm-tree machinery of
+  :mod:`repro.graph.spqr` — lowpoint computation, bond / polygon / type-1
+  split rules — answering almost every location query in ``O(n + m)``;
+* ``"splitpair"`` is the original polynomial split-pair search
+  (:func:`repro.graph.separation.find_two_separation`, ``O(n(n+m))`` per
+  query), kept as the executable reference specification.
+
+Because the canonical decomposition is unique, both engines produce the same
+object — the same partition of the real edges into members, the same member
+kinds, the same decomposition tree — which :meth:`TutteDecomposition.
+canonical_form` exposes as a comparable value and the differential suite
+(``tests/test_spqr_differential.py``) sweeps.  Engine-dependent
+instrumentation (``split_count``) is documented as such; see DESIGN.md
+("SPQR engine") for where the spqr engine deviates from Hopcroft–Tarjan as
+published.
 """
 
 from __future__ import annotations
@@ -20,10 +36,33 @@ from typing import Hashable, Iterable, Sequence
 from ..errors import DecompositionError, NotTwoConnectedError
 from ..graph.multigraph import MultiGraph
 from ..graph.separation import find_two_separation
+from ..graph.spqr import spqr_two_separation
 from ..graph.traversal import is_biconnected
 from .members import MARKER_KIND, Member, MemberKind
 
-__all__ = ["TutteDecomposition"]
+__all__ = ["TutteDecomposition", "ENGINES", "DEFAULT_ENGINE", "resolve_engine"]
+
+#: the recognised values of the public ``engine`` keyword
+ENGINES = ("spqr", "splitpair")
+
+#: the engine used when ``engine`` is ``None`` (callers pass ``None`` through
+#: so the default is decided in exactly one place)
+DEFAULT_ENGINE = "spqr"
+
+#: 2-separation finder backing each engine
+_FINDERS = {
+    "spqr": spqr_two_separation,
+    "splitpair": find_two_separation,
+}
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Validate an ``engine`` keyword value, mapping ``None`` to the default."""
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
 
 
 def _marker_eid(marker_id: int) -> int:
@@ -49,8 +88,16 @@ class TutteDecomposition:
         self.marker_links: dict[int, tuple[int, int]] = {}
         #: real edge id -> member id
         self.edge_to_member: dict[int, int] = {}
-        #: number of simple decompositions performed (instrumentation)
+        #: number of simple decompositions performed (instrumentation).
+        #: Engine-dependent: different engines may reach the canonical
+        #: decomposition through different split sequences, so compare
+        #: ``len(self.members)`` / ``members_by_kind()`` across engines, not
+        #: this counter.
         self.split_count: int = 0
+        #: number of canonical bond/bond and polygon/polygon merges performed
+        self.merge_count: int = 0
+        #: the engine that built this decomposition ("spqr" or "splitpair")
+        self.engine: str = DEFAULT_ENGINE
         self._next_mid = 0
         self._next_marker = 0
 
@@ -58,8 +105,18 @@ class TutteDecomposition:
     # construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def build(cls, graph: MultiGraph) -> "TutteDecomposition":
-        """Decompose ``graph`` (which must be 2-connected, with >= 1 edge)."""
+    def build(
+        cls, graph: MultiGraph, *, engine: str | None = None
+    ) -> "TutteDecomposition":
+        """Decompose ``graph`` (which must be 2-connected, with >= 1 edge).
+
+        ``engine`` selects how 2-separations are located: ``"spqr"`` (the
+        default) uses the near-linear palm-tree rules of
+        :mod:`repro.graph.spqr`; ``"splitpair"`` is the polynomial reference
+        search.  Both produce the identical canonical decomposition.
+        """
+        engine = resolve_engine(engine)
+        find_separation = _FINDERS[engine]
         if graph.num_edges == 0:
             raise DecompositionError("cannot decompose an empty graph")
         if not is_biconnected(graph):
@@ -67,11 +124,12 @@ class TutteDecomposition:
                 "Tutte decomposition requires a 2-connected graph"
             )
         deco = cls()
+        deco.engine = engine
         work: list[MultiGraph] = [graph.copy()]
         finished: list[MultiGraph] = []
         while work:
             current = work.pop()
-            sep = find_two_separation(current)
+            sep = find_separation(current)
             if sep is None:
                 finished.append(current)
                 continue
@@ -79,13 +137,15 @@ class TutteDecomposition:
             marker = deco._next_marker
             deco._next_marker += 1
             side = set(sep.side)
-            rest = [eid for eid in current.edge_ids() if eid not in side]
+            if 2 * len(side) > current.num_edges:
+                side = {eid for eid in current.edge_ids() if eid not in side}
+            # copy the small side out, peel it off the large side in place
             g1 = current.subgraph_from_edges(side)
-            g2 = current.subgraph_from_edges(rest)
+            current.remove_edges(side)
             g1.add_edge(sep.u, sep.v, kind=MARKER_KIND, label=marker, eid=_marker_eid(marker))
-            g2.add_edge(sep.u, sep.v, kind=MARKER_KIND, label=marker, eid=_marker_eid(marker))
+            current.add_edge(sep.u, sep.v, kind=MARKER_KIND, label=marker, eid=_marker_eid(marker))
             work.append(g1)
-            work.append(g2)
+            work.append(current)
 
         for g in finished:
             deco._add_member(g)
@@ -153,6 +213,7 @@ class TutteDecomposition:
         del self.members[ma]
         del self.members[mb]
         del self.marker_links[marker]
+        self.merge_count += 1
         for other_marker, (x, y) in list(self.marker_links.items()):
             nx = new_mid if x in (ma, mb) else x
             ny = new_mid if y in (ma, mb) else y
@@ -292,12 +353,118 @@ class TutteDecomposition:
         return g
 
     # ------------------------------------------------------------------ #
-    def summary(self) -> dict[str, int]:
-        """Counts of member kinds, for instrumentation and tests."""
+    # instrumentation and engine-independent canonical identity
+    # ------------------------------------------------------------------ #
+    def members_by_kind(self) -> dict[str, int]:
+        """Member counts keyed by kind value (engine-independent)."""
         counts = {kind.value: 0 for kind in MemberKind}
         for member in self.members.values():
             counts[member.kind.value] += 1
+        return counts
+
+    def summary(self) -> dict[str, object]:
+        """Counts of member kinds, for instrumentation and tests.
+
+        ``members`` / ``markers`` and the per-kind counts are canonical
+        (identical for every engine); ``splits`` and ``merges`` describe the
+        construction path and are engine-dependent.
+        """
+        counts: dict[str, object] = dict(self.members_by_kind())
         counts["members"] = len(self.members)
         counts["markers"] = len(self.marker_links)
         counts["splits"] = self.split_count
+        counts["merges"] = self.merge_count
+        counts["engine"] = self.engine
         return counts
+
+    def _vertex_keys(self) -> dict:
+        """Canonical per-vertex identities: each vertex mapped to the sorted
+        tuple of its incident *real* edge ids across all members (i.e. its
+        incidence in the original graph).
+
+        Edge ids are canonical integers shared by every engine, so these keys
+        are deterministic, orderable and — unlike ``repr`` — collision-free
+        for distinct vertex objects: two vertices with identical incident
+        real-edge sets can only occur in a single-member bond, which has no
+        markers to label.
+        """
+        incident: dict = {}
+        for member in self.members.values():
+            for edge in member.graph.edges():
+                if edge.kind == MARKER_KIND:
+                    continue
+                incident.setdefault(edge.u, set()).add(edge.eid)
+                incident.setdefault(edge.v, set()).add(edge.eid)
+        return {v: tuple(sorted(eids)) for v, eids in incident.items()}
+
+    def _member_base_label(self, mid: int, vertex_keys: dict | None = None) -> tuple:
+        """Engine-independent label of one member: kind, real edges, marker
+        attachment pairs (vertices identified by :meth:`_vertex_keys`)."""
+        if vertex_keys is None:
+            vertex_keys = self._vertex_keys()
+        member = self.members[mid]
+        marker_pairs = sorted(
+            tuple(sorted((vertex_keys[e.u], vertex_keys[e.v])))
+            for e in member.graph.edges_by_kind(MARKER_KIND)
+        )
+        return (
+            member.kind.value,
+            tuple(sorted(member.real_edge_ids())),
+            tuple(marker_pairs),
+        )
+
+    def canonical_form(self) -> tuple:
+        """A hashable canonical identity of the decomposition.
+
+        Two decompositions of the same graph compare equal here iff they have
+        the same members (kind, real edge sets, marker attachments) arranged
+        in the same tree — independent of engine, split order, member ids and
+        marker ids.  Computed by rooting the decomposition tree at its
+        centre(s) and taking the lexicographically least AHU-style code.
+        """
+        if not self.members:
+            return ()
+        vertex_keys = self._vertex_keys()
+        labels = {
+            mid: self._member_base_label(mid, vertex_keys) for mid in self.members
+        }
+        neighbors: dict[int, list[int]] = {mid: [] for mid in self.members}
+        for ma, mb in self.marker_links.values():
+            neighbors[ma].append(mb)
+            neighbors[mb].append(ma)
+
+        # peel leaves to find the tree centre(s)
+        degree = {mid: len(adj) for mid, adj in neighbors.items()}
+        remaining = set(self.members)
+        layer = [mid for mid in remaining if degree[mid] <= 1]
+        while len(remaining) > 2:
+            next_layer = []
+            for mid in layer:
+                remaining.discard(mid)
+                for other in neighbors[mid]:
+                    if other in remaining:
+                        degree[other] -= 1
+                        if degree[other] == 1:
+                            next_layer.append(other)
+            layer = next_layer
+
+        def code(root: int) -> tuple:
+            # iterative post-order (decomposition trees can be path-shaped
+            # with thousands of members, beyond the recursion limit)
+            codes: dict[int, tuple] = {}
+            stack: list[tuple[int, int | None, bool]] = [(root, None, False)]
+            while stack:
+                mid, parent, expanded = stack.pop()
+                if expanded:
+                    children = sorted(
+                        codes[other] for other in neighbors[mid] if other != parent
+                    )
+                    codes[mid] = (labels[mid], tuple(children))
+                else:
+                    stack.append((mid, parent, True))
+                    for other in neighbors[mid]:
+                        if other != parent:
+                            stack.append((other, mid, False))
+            return codes[root]
+
+        return min(code(centre) for centre in remaining)

@@ -2,9 +2,20 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
+
+# Hypothesis profiles: the default keeps the tier-1 suite fast; "spqr-ci" is
+# the fixed-seed 500-example sweep the spqr-differential CI job selects via
+# HYPOTHESIS_PROFILE=spqr-ci (derandomize pins the example sequence).
+settings.register_profile("default", settings(deadline=None))
+settings.register_profile(
+    "spqr-ci", settings(max_examples=500, deadline=None, derandomize=True)
+)
+settings.load_profile(os.getenv("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

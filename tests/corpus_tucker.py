@@ -1,0 +1,146 @@
+"""The five Tucker obstruction families, as parametrized generators.
+
+Tucker's structure theorem (A. Tucker, *A structure theorem for the
+consecutive 1's property*, JCTB 1972) characterises the matrices without the
+consecutive-ones property: a (0,1)-matrix has C1P iff it contains none of
+``M_I(k)``, ``M_II(k)``, ``M_III(k)`` (``k >= 1``), ``M_IV`` and ``M_V`` as
+a configuration (submatrix up to row/column permutation).  The families are
+therefore exactly the *minimal* non-C1P matrices — an adversarial corpus of
+certified rejections for differential-testing the solver: every generated
+ensemble must be rejected by ``path_realization`` under every kernel/engine
+combination, and deleting any single row or column must make it accepted.
+
+Forms used here (1-indexed in the comments, 0-indexed in code; rows are
+column subsets, so "columns" of the matrix are the ensemble's atoms):
+
+* ``M_I(k)``, ``(k+2) x (k+2)``: the chordless cycle — rows ``{i, i+1}``
+  for ``i = 1..k+1`` plus ``{1, k+2}``.
+* ``M_II(k)``, ``(k+3) x (k+3)``: the staircase ``{i, i+1}``,
+  ``i = 1..k+1``, plus ``{1..k+1, k+3}`` and ``{2..k+2, k+3}``.
+* ``M_III(k)``, ``(k+2) x (k+3)``: the staircase ``{i, i+1}``,
+  ``i = 1..k+1``, plus ``{2..k+1, k+3}`` (for ``k = 1`` this is the star
+  ``{1,2}, {2,3}, {2,4}``).
+* ``M_IV``, ``4 x 6``: ``{1,2}, {3,4}, {5,6}, {1,3,5}``.
+* ``M_V``, ``4 x 5``: ``{1,2}, {3,4}, {1,2,3,4}, {1,3,5}``.
+
+Every family form was re-derived and verified against an exhaustive
+enumeration of minimal non-C1P matrices at small sizes (all of ``3x3``,
+``3x4``, ``4x4``, ``4x5`` and ``5x5``), and
+:func:`verify_minimal_obstruction` re-checks minimality with the brute-force
+oracle in the test suite, so the corpus is self-certifying.
+"""
+
+from __future__ import annotations
+
+from repro.bruteforce import brute_force_has_c1p
+from repro.ensemble import Ensemble
+
+__all__ = [
+    "TUCKER_FAMILIES",
+    "tucker_rows",
+    "tucker_ensemble",
+    "tucker_cases",
+    "verify_minimal_obstruction",
+]
+
+#: family name -> whether the family takes the ``k`` parameter
+TUCKER_FAMILIES = {"M_I": True, "M_II": True, "M_III": True, "M_IV": False, "M_V": False}
+
+
+def _m_i(k: int) -> tuple[int, list[frozenset]]:
+    n = k + 2
+    rows = [frozenset({i, i + 1}) for i in range(k + 1)]
+    rows.append(frozenset({0, k + 1}))
+    return n, rows
+
+
+def _m_ii(k: int) -> tuple[int, list[frozenset]]:
+    n = k + 3
+    rows = [frozenset({i, i + 1}) for i in range(k + 1)]
+    rows.append(frozenset(range(k + 1)) | {k + 2})
+    rows.append(frozenset(range(1, k + 2)) | {k + 2})
+    return n, rows
+
+
+def _m_iii(k: int) -> tuple[int, list[frozenset]]:
+    n = k + 3
+    rows = [frozenset({i, i + 1}) for i in range(k + 1)]
+    rows.append(frozenset(range(1, k + 1)) | {k + 2})
+    return n, rows
+
+
+def _m_iv(k: int) -> tuple[int, list[frozenset]]:
+    return 6, [
+        frozenset({0, 1}),
+        frozenset({2, 3}),
+        frozenset({4, 5}),
+        frozenset({0, 2, 4}),
+    ]
+
+
+def _m_v(k: int) -> tuple[int, list[frozenset]]:
+    return 5, [
+        frozenset({0, 1}),
+        frozenset({2, 3}),
+        frozenset({0, 1, 2, 3}),
+        frozenset({0, 2, 4}),
+    ]
+
+
+_GENERATORS = {
+    "M_I": _m_i,
+    "M_II": _m_ii,
+    "M_III": _m_iii,
+    "M_IV": _m_iv,
+    "M_V": _m_v,
+}
+
+
+def tucker_rows(family: str, k: int = 1) -> tuple[int, list[frozenset]]:
+    """``(num_columns, rows)`` of the requested obstruction matrix.
+
+    Rows are frozensets of 0-indexed column positions.  ``k`` is ignored for
+    the fixed-size families ``M_IV`` and ``M_V`` and must be ``>= 1``
+    otherwise.
+    """
+    if family not in _GENERATORS:
+        raise ValueError(f"unknown Tucker family {family!r}")
+    if TUCKER_FAMILIES[family] and k < 1:
+        raise ValueError(f"{family} requires k >= 1, got {k}")
+    return _GENERATORS[family](k)
+
+
+def tucker_ensemble(family: str, k: int = 1) -> Ensemble:
+    """The obstruction as an ensemble: atoms are the matrix's columns, the
+    ensemble's columns are the matrix's rows (the Tucker convention: C1P
+    holds iff some column permutation makes every row consecutive)."""
+    n, rows = tucker_rows(family, k)
+    return Ensemble(tuple(range(n)), tuple(rows))
+
+
+def tucker_cases(max_k: int = 4) -> list[tuple[str, int]]:
+    """``(family, k)`` pairs covering every family, ``k = 1..max_k``."""
+    cases: list[tuple[str, int]] = []
+    for family, parametrized in TUCKER_FAMILIES.items():
+        if parametrized:
+            cases.extend((family, k) for k in range(1, max_k + 1))
+        else:
+            cases.append((family, 1))
+    return cases
+
+
+def verify_minimal_obstruction(ensemble: Ensemble) -> None:
+    """Brute-force certificate that ``ensemble`` is a *minimal* non-C1P
+    witness: not C1P, every row (column set) deletion is C1P, and every
+    column (atom) deletion is C1P.  Raises ``AssertionError`` otherwise."""
+    assert not brute_force_has_c1p(ensemble), "corpus matrix is C1P"
+    cols = list(ensemble.columns)
+    for i in range(len(cols)):
+        reduced = Ensemble(ensemble.atoms, tuple(cols[:i] + cols[i + 1 :]))
+        assert brute_force_has_c1p(reduced), f"row {i} deletion stays non-C1P"
+    for atom in ensemble.atoms:
+        kept = tuple(a for a in ensemble.atoms if a != atom)
+        reduced = Ensemble(
+            kept, tuple(frozenset(c - {atom}) for c in ensemble.columns)
+        )
+        assert brute_force_has_c1p(reduced), f"column {atom} deletion stays non-C1P"

@@ -125,3 +125,21 @@ class TestComponentSplitting:
         subs = _linear_component_ensembles(instance)
         covered = sorted(a for sub in subs for a in sub.atoms)
         assert covered == sorted(instance.atoms)
+
+
+class TestEngineSelection:
+    def test_engines_agree_serial_and_pooled(self, rng):
+        fleet = [random_c1p_ensemble(12, 8, rng).ensemble for _ in range(3)]
+        fleet.append(non_c1p_ensemble(10, 6, rng).ensemble)
+        outcomes = {}
+        for engine in (None, "spqr", "splitpair"):
+            results = solve_many(fleet, engine=engine)
+            outcomes[engine] = [r.ok for r in results]
+        assert outcomes[None] == outcomes["spqr"] == outcomes["splitpair"]
+        pooled = solve_many(fleet, engine="splitpair", processes=2)
+        assert [r.ok for r in pooled] == outcomes["splitpair"]
+
+    def test_unknown_engine_rejected(self, rng):
+        fleet = [random_c1p_ensemble(8, 5, rng).ensemble]
+        with pytest.raises(ValueError):
+            solve_many(fleet, engine="hopcroft")

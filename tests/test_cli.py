@@ -123,3 +123,31 @@ class TestBatchSubcommand:
             main(["batch", a, "--processes", "-2"])
         assert excinfo.value.code == 2
         assert "--processes must be >= 0" in capsys.readouterr().err
+
+
+class TestEngineFlag:
+    def test_engine_flag_accepted(self, tmp_path, capsys):
+        path = tmp_path / "m.txt"
+        path.write_text("1 1 0\n0 1 1\n")
+        for engine in ("spqr", "splitpair"):
+            assert main([str(path), "--quiet", "--engine", engine]) == 0
+            assert capsys.readouterr().out.strip()
+
+    def test_unknown_engine_rejected(self, tmp_path, capsys):
+        path = tmp_path / "m.txt"
+        path.write_text("1 1 0\n0 1 1\n")
+        with pytest.raises(SystemExit):
+            main([str(path), "--engine", "hopcroft"])
+
+    def test_batch_engine_flag_and_json(self, tmp_path, capsys):
+        path = tmp_path / "m.txt"
+        path.write_text("1 1 0\n0 1 1\n")
+        record = tmp_path / "out.json"
+        assert main(
+            ["batch", str(path), "--engine", "splitpair", "--json", str(record)]
+        ) == 0
+        capsys.readouterr()
+        import json
+
+        payload = json.loads(record.read_text())
+        assert payload["engine"] == "splitpair"

@@ -1,0 +1,190 @@
+"""Edge-case and truth-table coverage for :mod:`repro.graph.separation`.
+
+Covers the shapes the original suite never exercised — bond-only graphs,
+triconnected wheels, graphs whose only 2-separations are parallel classes —
+and cross-validates ``is_triconnected`` / ``find_two_separation`` /
+``spqr_two_separation`` against a brute-force oracle that enumerates every
+edge bipartition of small multigraphs (<= 7 vertices), i.e. the literal
+Section 2.1 definition: a partition ``{E1, E2}`` with ``|E1|, |E2| >= 2``
+whose edge-induced subgraphs share exactly two vertices.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.graph import (
+    MultiGraph,
+    fast_two_separation,
+    find_two_separation,
+    is_biconnected,
+    is_triconnected,
+    spqr_two_separation,
+)
+from repro.tutte import MemberKind, TutteDecomposition
+
+
+# ---------------------------------------------------------------------- #
+# brute-force oracles (Section 2.1 definitions, verbatim)
+# ---------------------------------------------------------------------- #
+def all_two_separations(graph: MultiGraph) -> list[tuple[frozenset, frozenset]]:
+    """Every 2-separation as ``(side, shared vertex pair)`` by enumeration."""
+    eids = graph.edge_ids()
+    out = []
+    for size in range(2, len(eids) - 1):
+        for combo in itertools.combinations(eids, size):
+            side = set(combo)
+            other = set(eids) - side
+            vs = {x for e in side for x in (graph.edge(e).u, graph.edge(e).v)}
+            vo = {x for e in other for x in (graph.edge(e).u, graph.edge(e).v)}
+            shared = vs & vo
+            if len(shared) == 2:
+                out.append((frozenset(side), frozenset(shared)))
+    return out
+
+
+def brute_force_is_triconnected(graph: MultiGraph) -> bool:
+    """The docstring contract of :func:`is_triconnected`, enumerated."""
+    if graph.is_bond() or graph.is_polygon():
+        return False
+    if graph.num_vertices < 4:
+        return False
+    return not all_two_separations(graph)
+
+
+def random_multigraph(seed: int) -> MultiGraph:
+    """A random small multigraph (parallel edges included), any connectivity."""
+    rng = random.Random(seed)
+    n = rng.randint(2, 7)
+    g = MultiGraph()
+    for v in range(n):
+        g.add_vertex(v)
+    for _ in range(rng.randint(1, 11)):
+        u, v = rng.sample(range(n), 2)
+        g.add_edge(u, v)
+    return g
+
+
+def wheel(rim: int) -> MultiGraph:
+    """The wheel W_rim: a hub joined to every vertex of a rim cycle."""
+    g = MultiGraph()
+    for i in range(rim):
+        g.add_edge(i, (i + 1) % rim)
+        g.add_edge("hub", i)
+    return g
+
+
+# ---------------------------------------------------------------------- #
+# edge cases
+# ---------------------------------------------------------------------- #
+class TestBondOnlyGraphs:
+    @pytest.mark.parametrize("edges", [2, 3, 4, 7])
+    def test_bond_has_no_separation_and_is_not_triconnected(self, edges):
+        g = MultiGraph()
+        for _ in range(edges):
+            g.add_edge("a", "b")
+        assert g.is_bond()
+        assert find_two_separation(g) is None
+        assert spqr_two_separation(g) is None
+        assert not is_triconnected(g)
+
+    def test_bond_decomposes_to_single_member(self):
+        g = MultiGraph()
+        for _ in range(5):
+            g.add_edge(0, 1)
+        for engine in ("spqr", "splitpair"):
+            deco = TutteDecomposition.build(g, engine=engine)
+            assert deco.members_by_kind() == {"bond": 1, "polygon": 0, "rigid": 0}
+
+
+class TestTriconnectedWheels:
+    @pytest.mark.parametrize("rim", [3, 4, 5, 6])
+    def test_wheels_are_triconnected(self, rim):
+        g = wheel(rim)
+        assert is_biconnected(g)
+        assert is_triconnected(g)
+        assert find_two_separation(g) is None
+        assert spqr_two_separation(g) is None
+        assert brute_force_is_triconnected(g)
+
+    @pytest.mark.parametrize("rim", [3, 4, 5])
+    def test_wheels_decompose_to_single_rigid_member(self, rim):
+        for engine in ("spqr", "splitpair"):
+            deco = TutteDecomposition.build(wheel(rim), engine=engine)
+            assert deco.members_by_kind() == {"bond": 0, "polygon": 0, "rigid": 1}
+            assert deco.split_count == 0
+
+    def test_broken_wheel_is_not_triconnected(self):
+        # removing one spoke leaves a degree-2 rim vertex: a polygon split
+        g = wheel(5)
+        spoke = next(
+            e.eid for e in g.edges() if e.endpoints() == frozenset(("hub", 0))
+        )
+        g.remove_edge(spoke)
+        assert not is_triconnected(g)
+        assert find_two_separation(g) is not None
+        assert spqr_two_separation(g) is not None
+
+
+class TestParallelClassOnlySeparations:
+    def test_doubled_triangle_every_separation_is_a_parallel_class(self):
+        g = MultiGraph()
+        for u, v in ((0, 1), (1, 2), (2, 0)):
+            g.add_edge(u, v)
+            g.add_edge(u, v)
+        seps = all_two_separations(g)
+        assert seps  # it is not triconnected...
+        classes = {frozenset(eids) for eids in g.parallel_classes().values()}
+        for side, _ in seps:
+            complement = frozenset(set(g.edge_ids()) - side)
+            assert side in classes or complement in classes
+        # ...and both finders report one of those bond separations
+        for finder in (find_two_separation, spqr_two_separation):
+            sep = finder(g)
+            assert sep is not None
+            assert frozenset(sep.side) in classes
+        assert not is_triconnected(g)
+
+    def test_doubled_triangle_decomposition(self):
+        g = MultiGraph()
+        for u, v in ((0, 1), (1, 2), (2, 0)):
+            g.add_edge(u, v)
+            g.add_edge(u, v)
+        for engine in ("spqr", "splitpair"):
+            deco = TutteDecomposition.build(g, engine=engine)
+            kinds = deco.members_by_kind()
+            assert kinds["bond"] == 3 and kinds["polygon"] == 1
+            assert kinds["rigid"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# the truth table
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(250))
+def test_truth_table_vs_brute_force(seed):
+    """``is_triconnected`` and both separation finders agree with the
+    enumerated Section 2.1 definition on random <= 7-vertex multigraphs."""
+    g = random_multigraph(seed)
+    if not is_biconnected(g):  # the finders' documented precondition
+        return
+    seps = all_two_separations(g)
+    expected_tri = brute_force_is_triconnected(g)
+    assert is_triconnected(g) == expected_tri
+
+    special = g.is_bond() or g.is_polygon() or g.num_edges < 4
+    for finder in (find_two_separation, spqr_two_separation):
+        sep = finder(g)
+        if special:
+            assert sep is None
+        else:
+            assert (sep is not None) == bool(seps)
+        if sep is not None:
+            assert (frozenset(sep.side), frozenset((sep.u, sep.v))) in seps
+
+    # the fast rules alone are sound (they may miss, never mislocate)
+    fast = fast_two_separation(g)
+    if fast is not None:
+        assert (frozenset(fast.side), frozenset((fast.u, fast.v))) in seps

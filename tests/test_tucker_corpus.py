@@ -1,0 +1,101 @@
+"""Adversarial sweep: Tucker obstructions vs every kernel/engine combination.
+
+The corpus (:mod:`tests.corpus_tucker`) contains exactly the minimal non-C1P
+matrices of Tucker's structure theorem; this module sweeps it through
+``path_realization`` and ``cycle_realization`` on both execution kernels and
+both Tutte decomposition engines, asserting
+
+* rejection of every obstruction (with the witness re-certified minimal by
+  the brute-force oracle for the small members), and
+* circular-ones agreement with the brute-force oracle — the families are
+  non-C1P, but some (e.g. the cycles ``M_I(k)``) *do* have circular-ones
+  realizations, so the circular sweep checks exact agreement rather than
+  blanket rejection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import generators
+from repro.bruteforce import brute_force_has_circular_ones
+from repro.core import ENGINES, KERNELS, cycle_realization, path_realization
+from repro.ensemble import verify_circular_layout
+
+from corpus_tucker import tucker_cases, tucker_ensemble, verify_minimal_obstruction
+
+CASES = tucker_cases(max_k=4)
+GRID = [
+    (family, k, kernel, engine)
+    for family, k in CASES
+    for kernel in KERNELS
+    for engine in ENGINES
+]
+
+
+def _case_id(case) -> str:
+    family, k, kernel, engine = case
+    return f"{family}({k})-{kernel}-{engine}"
+
+
+@pytest.mark.parametrize("family,k,kernel,engine", GRID, ids=map(_case_id, GRID))
+def test_obstruction_rejected_on_path(family, k, kernel, engine):
+    ensemble = tucker_ensemble(family, k)
+    assert path_realization(ensemble, kernel=kernel, engine=engine) is None
+
+
+@pytest.mark.parametrize("family,k,kernel,engine", GRID, ids=map(_case_id, GRID))
+def test_circular_sweep_matches_bruteforce(family, k, kernel, engine):
+    ensemble = tucker_ensemble(family, k)
+    order = cycle_realization(ensemble, kernel=kernel, engine=engine)
+    expected = brute_force_has_circular_ones(ensemble)
+    assert (order is not None) == expected
+    if order is not None:
+        assert verify_circular_layout(ensemble, order)
+
+
+@pytest.mark.parametrize(
+    "family,k",
+    [case for case in tucker_cases(max_k=2)],
+    ids=[f"{family}({k})" for family, k in tucker_cases(max_k=2)],
+)
+def test_corpus_witnesses_are_minimal_obstructions(family, k):
+    """The generated matrices really are minimal non-C1P witnesses."""
+    verify_minimal_obstruction(tucker_ensemble(family, k))
+
+
+def test_cycles_are_circular_but_not_linear():
+    """M_I(k) is the canonical C1P/circular-ones separator."""
+    for k in (1, 2, 3):
+        ensemble = tucker_ensemble("M_I", k)
+        assert path_realization(ensemble) is None
+        assert cycle_realization(ensemble) is not None
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        tucker_ensemble("M_VI")
+    with pytest.raises(ValueError):
+        tucker_ensemble("M_I", 0)
+
+
+@pytest.mark.parametrize(
+    "factory,k",
+    [
+        (generators.tucker_m1, 1),
+        (generators.tucker_m1, 2),
+        (generators.tucker_m2, 1),
+        (generators.tucker_m2, 2),
+        (generators.tucker_m3, 1),
+        (generators.tucker_m3, 2),
+        (generators.tucker_m4, None),
+        (generators.tucker_m5, None),
+    ],
+    ids=["m1(1)", "m1(2)", "m2(1)", "m2(2)", "m3(1)", "m3(2)", "m4", "m5"],
+)
+def test_library_tucker_generators_are_minimal_obstructions(factory, k):
+    """repro.generators.tucker_m* must agree with the corpus: every generated
+    configuration is a *minimal* non-C1P witness (this is what certifies the
+    library generators after the M_III / M_V minimality fixes)."""
+    ensemble = factory() if k is None else factory(k)
+    verify_minimal_obstruction(ensemble)

@@ -201,6 +201,76 @@ class TestComposition:
         assert same_cycle_space(g, composed)
 
 
+class TestEngines:
+    def test_engine_flag_recorded_and_default_is_spqr(self):
+        g = random_ham_cycle_with_chords(10, 5, seed=2)
+        assert TutteDecomposition.build(g).engine == "spqr"
+        assert TutteDecomposition.build(g, engine="splitpair").engine == "splitpair"
+        assert TutteDecomposition.build(g, engine=None).engine == "spqr"
+
+    def test_unknown_engine_rejected(self):
+        g = cycle_graph(4)
+        with pytest.raises(ValueError):
+            TutteDecomposition.build(g, engine="hopcroft")
+
+    def test_engines_agree_on_random_realization_graphs(self):
+        for seed in range(25):
+            g = random_ham_cycle_with_chords(4 + seed % 9, seed % 7, seed=seed)
+            spqr = TutteDecomposition.build(g, engine="spqr")
+            splitpair = TutteDecomposition.build(g, engine="splitpair")
+            assert spqr.canonical_form() == splitpair.canonical_form()
+            assert spqr.members_by_kind() == splitpair.members_by_kind()
+
+    def test_members_by_kind_matches_summary(self):
+        g = random_ham_cycle_with_chords(9, 5, seed=11)
+        deco = TutteDecomposition.build(g)
+        kinds = deco.members_by_kind()
+        summary = deco.summary()
+        for kind, count in kinds.items():
+            assert summary[kind] == count
+        assert sum(kinds.values()) == summary["members"] == len(deco.members)
+        assert summary["engine"] == "spqr"
+        assert summary["merges"] == deco.merge_count
+
+    def test_canonical_form_survives_repr_collisions(self):
+        # vertex identity must come from edge incidence, not repr(): distinct
+        # vertices with identical reprs (the PR-1 bug class) may not be
+        # conflated by the canonical form's marker labels
+        class Opaque:
+            __slots__ = ("i",)
+
+            def __init__(self, i):
+                self.i = i
+
+            def __repr__(self):
+                return "<opaque>"
+
+        vs = [Opaque(i) for i in range(8)]
+        g = MultiGraph()
+        for i in range(8):
+            g.add_edge(vs[i], vs[(i + 1) % 8])
+        g.add_edge(vs[0], vs[4])
+        g.add_edge(vs[1], vs[5])
+        spqr = TutteDecomposition.build(g, engine="spqr")
+        splitpair = TutteDecomposition.build(g, engine="splitpair")
+        assert spqr.canonical_form() == splitpair.canonical_form()
+        # the vertex keys themselves are pairwise distinct
+        keys = spqr._vertex_keys()
+        assert len(set(keys.values())) == len(keys)
+
+    def test_split_and_merge_counts_are_construction_stats(self):
+        # split_count is engine-dependent instrumentation; the canonical
+        # quantities (members, markers) must not depend on it
+        g = random_ham_cycle_with_chords(12, 6, seed=13)
+        spqr = TutteDecomposition.build(g, engine="spqr")
+        splitpair = TutteDecomposition.build(g, engine="splitpair")
+        for deco in (spqr, splitpair):
+            # each split adds a member, each canonical merge removes one
+            assert deco.split_count == len(deco.members) - 1 + deco.merge_count
+        assert len(spqr.members) == len(splitpair.members)
+        assert len(spqr.marker_links) == len(splitpair.marker_links)
+
+
 @given(
     n=st.integers(min_value=4, max_value=10),
     chords=st.integers(min_value=0, max_value=8),
