@@ -1,0 +1,209 @@
+"""E8 — certification overhead: witness extraction vs. plain rejection.
+
+Standalone JSON-emitting gate (run by CI at the acceptance size, by hand for
+exploration), mirroring ``bench_sequential_scaling.py``.  It measures, on
+planted-obstruction instances (a Tucker family embedded in random C1P
+padding, labels and column order shuffled),
+
+1. **plain rejection** — one ``path_realization`` returning ``None``;
+2. **certified rejection** — the same solve plus
+   :func:`repro.certify.extract_tucker_witness` (greedy chunked deletion
+   narrowing, DESIGN.md Substitution 4), with every witness re-validated by
+   the independent checker.
+
+The acceptance bar (ISSUE 3) is certified rejection within **5x** of plain
+rejection at ``n = 200`` atoms; CI gates on the aggregate ratio via
+``--require-max-overhead 5.0``.  Two workload shapes are recorded: the
+natural ``disjoint`` shape (the obstruction is its own component — the
+component pre-restriction answers in a couple of tiny solves) and a harder
+``bridged`` shape where random two-atom columns weld the obstruction to the
+padding so the narrowing has to earn its keep; both are gated.
+
+The cost-model counterpart is :func:`repro.pram.costmodel.certify_work`
+(narrowing re-solves charged at the sequential ``p log p`` bound), recorded
+next to the measured ratios.
+
+Usage
+-----
+::
+
+    PYTHONPATH=src python benchmarks/bench_certify_overhead.py \
+        --atoms 200 --columns 120 --json certify_overhead.json
+
+    # CI smoke: certified rejection must stay within 5x of plain rejection
+    PYTHONPATH=src python benchmarks/bench_certify_overhead.py \
+        --atoms 200 --require-max-overhead 5.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.certify import ExtractionStats, check_ensemble, extract_tucker_witness
+from repro.core import path_realization
+from repro.ensemble import Ensemble
+from repro.generators import non_c1p_ensemble, shuffle_ensemble
+from repro.pram.costmodel import certify_work, log2
+
+CORES = ("m1", "m2", "m3", "m4", "m5")
+
+
+def planted_instance(
+    atoms: int, columns: int, core: str, seed: int, bridges: int
+) -> Ensemble:
+    """A shuffled planted-obstruction instance; ``bridges`` extra two-atom
+    columns weld the obstruction's component to the padding."""
+    rng = random.Random(seed)
+    instance = non_c1p_ensemble(atoms, columns, rng, core=core, core_k=3).ensemble
+    instance = shuffle_ensemble(instance, rng)
+    if bridges:
+        cols = list(instance.columns)
+        universe = list(instance.atoms)
+        for _ in range(bridges):
+            cols.append(frozenset(rng.sample(universe, 2)))
+        instance = Ensemble(instance.atoms, tuple(cols))
+    return instance
+
+
+def time_sample(instance: Ensemble, core: str, shape: str) -> dict:
+    start = time.perf_counter()
+    order = path_realization(instance)
+    plain_s = time.perf_counter() - start
+    if order is not None:
+        raise SystemExit(f"planted obstruction ({core}) was not rejected")
+
+    stats = ExtractionStats()
+    start = time.perf_counter()
+    # assume_rejected mirrors the real certify=True path: the preceding
+    # solve already established the rejection, so plain + extract below is
+    # exactly what a certified rejection costs
+    witness = extract_tucker_witness(instance, stats=stats, assume_rejected=True)
+    extract_s = time.perf_counter() - start
+    if not check_ensemble(instance, witness):
+        raise SystemExit(
+            f"witness for {core} failed the independent checker"
+        )
+
+    certified_s = plain_s + extract_s
+    n, m, p = instance.num_atoms, instance.num_columns, instance.total_size
+    predicted_tests = certify_work(n, m, p) / max(1.0, p * log2(p))
+    return {
+        "shape": shape,
+        "core": core,
+        "n": n,
+        "m": m,
+        "p": p,
+        "family": witness.family,
+        "k": witness.k,
+        "plain_seconds": plain_s,
+        "extract_seconds": extract_s,
+        "certified_seconds": certified_s,
+        "overhead": certified_s / plain_s if plain_s > 0 else float("inf"),
+        "narrowing_solves": stats.solve_calls,
+        "predicted_solve_charge": predicted_tests,
+    }
+
+
+def run(atoms: int, columns: int, repeats: int, seed: int) -> dict:
+    samples = []
+    for shape, bridges in (("disjoint", 0), ("bridged", 6)):
+        for repeat in range(repeats):
+            for i, core in enumerate(CORES):
+                instance = planted_instance(
+                    atoms, columns, core, seed + 37 * repeat + i, bridges
+                )
+                samples.append(time_sample(instance, core, shape))
+    aggregates = {}
+    for shape in ("disjoint", "bridged"):
+        rows = [s for s in samples if s["shape"] == shape]
+        plain = sum(s["plain_seconds"] for s in rows)
+        certified = sum(s["certified_seconds"] for s in rows)
+        aggregates[shape] = {
+            "plain_seconds": plain,
+            "certified_seconds": certified,
+            "overhead": certified / plain if plain > 0 else float("inf"),
+            "max_sample_overhead": max(s["overhead"] for s in rows),
+        }
+    return {
+        "workload": {
+            "atoms": atoms,
+            "columns": columns,
+            "repeats": repeats,
+            "seed": seed,
+            "cores": list(CORES),
+        },
+        "samples": samples,
+        "aggregate_overhead": aggregates,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--atoms", type=int, default=200)
+    parser.add_argument("--columns", type=int, default=120)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", metavar="PATH", help="write the result record to PATH")
+    parser.add_argument(
+        "--require-max-overhead", type=float, default=None, metavar="X",
+        help="exit non-zero when the aggregate certified/plain rejection "
+        "ratio exceeds X for any workload shape",
+    )
+    args = parser.parse_args(argv)
+
+    record = run(args.atoms, args.columns, args.repeats, args.seed)
+
+    print("E8  certification overhead: certified vs plain rejection")
+    print(f"{'shape':>9} {'core':>5} {'plain ms':>9} {'extract ms':>11} "
+          f"{'overhead':>9} {'solves':>7} {'family':>7}")
+    for s in record["samples"]:
+        print(f"{s['shape']:>9} {s['core']:>5} {s['plain_seconds']*1e3:>9.1f} "
+              f"{s['extract_seconds']*1e3:>11.1f} {s['overhead']:>8.2f}x "
+              f"{s['narrowing_solves']:>7} {s['family']:>7}")
+    for shape, agg in record["aggregate_overhead"].items():
+        print(f"  {shape}: aggregate overhead {agg['overhead']:.2f}x "
+              f"(worst sample {agg['max_sample_overhead']:.2f}x)")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"  recorded -> {args.json}")
+
+    if args.require_max_overhead is not None:
+        worst = max(
+            agg["overhead"] for agg in record["aggregate_overhead"].values()
+        )
+        if worst > args.require_max_overhead:
+            print(
+                f"FAIL: certified rejection overhead {worst:.2f}x "
+                f"> required {args.require_max_overhead}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# pytest shim: keep the E8 row in the combined benchmark report
+# ---------------------------------------------------------------------- #
+def test_e8_report_row():
+    """Small-size E8 run so ``pytest benchmarks/`` prints the certification
+    table alongside E1..E7 (the full-size gate is the __main__ entry)."""
+    from benchmarks import reporting
+
+    record = run(atoms=64, columns=48, repeats=1, seed=1)
+    lines = [f"{'shape':>9} {'overhead':>9}"]
+    for shape, agg in record["aggregate_overhead"].items():
+        # generous small-size bar: tiny plain rejections amplify noise
+        assert agg["overhead"] < 25.0, f"{shape} overhead {agg['overhead']:.1f}x"
+        lines.append(f"{shape:>9} {agg['overhead']:>8.2f}x")
+    lines.append("(full size: python benchmarks/bench_certify_overhead.py)")
+    reporting.register("E8  certification overhead (witness extraction)", lines)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

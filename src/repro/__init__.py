@@ -36,6 +36,21 @@ selects the Tutte decomposition engine used by the combine step: the
 near-linear Hopcroft–Tarjan-style palm-tree engine (:mod:`repro.graph.spqr`)
 or the polynomial split-pair reference search it is differentially verified
 against (see DESIGN.md, substitution 3).
+
+Certification
+-------------
+Every solver answer can carry a proof (``certify=True``, or the
+``certified_*`` / ``require_*`` entry points): accepted instances return
+their layout as an ``OrderCertificate``; rejected instances return a
+``TuckerWitness`` naming the minimal obstruction family (Tucker's theorem)
+and its row/column embedding.  Both are validated by a fully independent
+checker (:mod:`repro.certify.checker`) with no solver code on its import
+path — see DESIGN.md, substitution 4.
+
+>>> bad = Ensemble(("a", "b", "c"), (frozenset("ab"), frozenset("bc"), frozenset("ac")))
+>>> result = path_realization(bad, certify=True)
+>>> result.ok, result.certificate.family
+(False, 'M_I')
 """
 
 from .ensemble import (
@@ -59,11 +74,23 @@ from .core import (
     has_consecutive_ones,
     path_realization,
 )
+from .certify import (
+    CertifiedResult,
+    OrderCertificate,
+    TuckerWitness,
+    certified_cycle_realization,
+    certified_path_realization,
+    extract_tucker_witness,
+    require_circular_ones_order,
+    require_consecutive_ones_order,
+)
 from .errors import (
     AlignmentError,
+    CertificationError,
     DecompositionError,
     GraphError,
     InvalidEnsembleError,
+    NotC1PError,
     NotTwoConnectedError,
     PQTreeError,
     PRAMError,
@@ -91,8 +118,18 @@ __all__ = [
     "is_circular_consecutive",
     "verify_linear_layout",
     "verify_circular_layout",
+    "CertifiedResult",
+    "OrderCertificate",
+    "TuckerWitness",
+    "certified_path_realization",
+    "certified_cycle_realization",
+    "require_consecutive_ones_order",
+    "require_circular_ones_order",
+    "extract_tucker_witness",
     "ReproError",
     "InvalidEnsembleError",
+    "NotC1PError",
+    "CertificationError",
     "GraphError",
     "NotTwoConnectedError",
     "DecompositionError",

@@ -71,12 +71,24 @@ class CloneLibrary:
 
 @dataclass(frozen=True)
 class PhysicalMap:
-    """The result of map assembly."""
+    """The result of map assembly.
+
+    For inconsistent libraries assembled with ``certify=True`` the map also
+    carries the *proof* of inconsistency: a Tucker obstruction witness over
+    the clone × STS matrix, surfaced as the offending clone and probe sets —
+    the minimal sub-library no probe order can explain.
+    """
 
     sts_order: tuple[str, ...] | None
     used_clones: tuple[int, ...]
     discarded_clones: tuple[int, ...]
     consistent: bool
+    #: Tucker witness for the full library when it is not C1P (certify=True)
+    witness: object | None = None
+    #: clone names of the witness rows — the minimal conflicting clone set
+    conflict_clones: tuple[str, ...] = ()
+    #: STS names of the witness columns — the probes those clones fight over
+    conflict_probes: tuple[str, ...] = ()
 
     @property
     def num_discarded(self) -> int:
@@ -142,7 +154,7 @@ def inject_errors(
     return CloneLibrary(library.num_sts, tuple(new_clones), library.true_order)
 
 
-def assemble_physical_map(library: CloneLibrary) -> PhysicalMap:
+def assemble_physical_map(library: CloneLibrary, *, certify: bool = True) -> PhysicalMap:
     """Assemble an STS order consistent with as many clones as possible.
 
     If the full library has the consecutive-ones property, the returned map
@@ -150,6 +162,12 @@ def assemble_physical_map(library: CloneLibrary) -> PhysicalMap:
     conflict first, via :func:`repro.heuristics.greedy_c1p_clone_subset`)
     until the remaining fingerprints admit a consistent order — the simple
     kind of error-tolerant heuristic the paper's introduction calls for.
+
+    With ``certify`` (the default — the extraction is cheap next to the
+    greedy repair's one-solve-per-clone loop) a rejected library's map also
+    names the offending clone/probe set: a minimal Tucker obstruction
+    witness, independently checkable, pinpointing fingerprints that cannot
+    coexist on any chromosome order.
     """
     ensemble = library.ensemble()
     order = path_realization(ensemble)
@@ -160,12 +178,26 @@ def assemble_physical_map(library: CloneLibrary) -> PhysicalMap:
             discarded_clones=(),
             consistent=True,
         )
+    witness = None
+    conflict_clones: tuple[str, ...] = ()
+    conflict_probes: tuple[str, ...] = ()
+    if certify:
+        from ..certify.witness import extract_tucker_witness
+
+        witness = extract_tucker_witness(ensemble, assume_rejected=True)
+        conflict_clones = tuple(
+            ensemble.column_names[i] for i in witness.row_indices
+        )
+        conflict_probes = tuple(str(a) for a in witness.atom_order)
     kept, discarded, order = greedy_c1p_clone_subset(ensemble)
     return PhysicalMap(
         sts_order=tuple(order) if order is not None else None,
         used_clones=tuple(kept),
         discarded_clones=tuple(discarded),
         consistent=False,
+        witness=witness,
+        conflict_clones=conflict_clones,
+        conflict_probes=conflict_probes,
     )
 
 

@@ -50,6 +50,12 @@ class BatchResult:
     num_columns: int = 0
     #: how many pool tasks the instance was split into (connected components)
     parts: int = 1
+    #: structured outcome: ``"realized"`` or ``"rejected"`` (never a bare
+    #: ``None`` order with no explanation)
+    status: str = ""
+    #: with ``certify=True``: an ``OrderCertificate`` for realized instances,
+    #: a checkable ``TuckerWitness`` for rejected ones; ``None`` otherwise
+    certificate: object | None = None
 
     @property
     def ok(self) -> bool:
@@ -57,13 +63,18 @@ class BatchResult:
         return self.order is not None
 
     def summary(self) -> dict[str, object]:
+        certificate = (
+            self.certificate.to_json() if self.certificate is not None else None
+        )
         return {
             "index": self.index,
             "ok": self.ok,
+            "status": self.status,
             "order": None if self.order is None else list(self.order),
             "num_atoms": self.num_atoms,
             "num_columns": self.num_columns,
             "parts": self.parts,
+            "certificate": certificate,
         }
 
 
@@ -87,6 +98,30 @@ def _solve_task(task: _Task) -> tuple[int, int, list | None]:
     return task.index, task.part, solve(
         task.ensemble, kernel=task.kernel, engine=task.engine
     )
+
+
+@dataclass(frozen=True)
+class _CertifyTask:
+    """One witness-extraction work item for a rejected instance."""
+
+    index: int
+    ensemble: Ensemble
+    circular: bool
+    kernel: str
+    engine: str | None
+
+
+def _certify_task(task: _CertifyTask) -> tuple[int, object]:
+    from .certify.witness import extract_tucker_witness
+
+    witness = extract_tucker_witness(
+        task.ensemble,
+        kernel=task.kernel,
+        engine=task.engine,
+        circular=task.circular,
+        assume_rejected=True,
+    )
+    return task.index, witness
 
 
 def _linear_component_ensembles(ensemble: Ensemble) -> list[Ensemble]:
@@ -123,6 +158,7 @@ def solve_many(
     kernel: str = "indexed",
     engine: str | None = None,
     split_components: bool = True,
+    certify: bool = False,
 ) -> list[BatchResult]:
     """Solve every ensemble, optionally fanning work out over processes.
 
@@ -147,6 +183,12 @@ def solve_many(
         separate pool tasks and concatenate their layouts.  Circular
         instances are never split (component structure only emerges after
         the solver's column normalisation).
+    certify:
+        Attach a certificate to every result: an ``OrderCertificate`` for
+        realized instances and a checkable ``TuckerWitness`` (extracted from
+        the *original* instance, so its row indices refer to the input
+        columns) for rejected ones.  Witness extractions for multiple
+        rejected instances are fanned out over the same process pool.
 
     Returns
     -------
@@ -194,6 +236,51 @@ def solve_many(
                 num_atoms=ensemble.num_atoms,
                 num_columns=ensemble.num_columns,
                 parts=parts_per_instance[index],
+                status="realized" if combined is not None else "rejected",
             )
         )
+
+    if certify:
+        _attach_certificates(results, instances, circular, kernel, engine, processes)
     return results
+
+
+def _attach_certificates(
+    results: list[BatchResult],
+    instances: list[Ensemble],
+    circular: bool,
+    kernel: str,
+    engine: str | None,
+    processes: int | None,
+) -> None:
+    """Fill ``result.certificate`` in place for every instance.
+
+    Realized instances get their layout wrapped as an ``OrderCertificate``
+    (cheap, done inline).  Rejected instances need a witness extraction —
+    many narrowing re-solves each — so those are fanned out over a process
+    pool when one was requested.
+    """
+    from .certify.certificates import OrderCertificate
+
+    kind = "circular" if circular else "consecutive"
+    rejected: list[_CertifyTask] = []
+    for result in results:
+        if result.order is not None:
+            result.certificate = OrderCertificate(kind, tuple(result.order))
+        else:
+            rejected.append(
+                _CertifyTask(
+                    result.index, instances[result.index], circular, kernel, engine
+                )
+            )
+    if not rejected:
+        return
+
+    workers = _resolve_workers(processes, len(rejected))
+    if workers <= 1:
+        outcomes = [_certify_task(task) for task in rejected]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_certify_task, rejected))
+    for index, witness in outcomes:
+        results[index].certificate = witness

@@ -1,0 +1,49 @@
+"""Certifying solver layer: self-certifying answers in both directions.
+
+* :mod:`repro.certify.certificates` — the pure-data certificate model
+  (:class:`OrderCertificate`, :class:`TuckerWitness`,
+  :class:`CertifiedResult`, JSON round-trip);
+* :mod:`repro.certify.checker` — the fully independent verifier (no solver
+  code on its import path; re-derives the Tucker family forms locally);
+* :mod:`repro.certify.witness` — obstruction localisation by greedy chunked
+  deletion narrowing plus structural family classification;
+* :mod:`repro.certify.api` — ``certified_path_realization`` /
+  ``certified_cycle_realization`` and the raise-with-proof ``require_*``
+  wrappers, also reachable as ``certify=True`` on the plain solvers.
+"""
+
+from .api import (
+    certified_cycle_realization,
+    certified_path_realization,
+    require_circular_ones_order,
+    require_consecutive_ones_order,
+)
+from .certificates import (
+    TUCKER_FAMILY_NAMES,
+    CertifiedResult,
+    OrderCertificate,
+    TuckerWitness,
+    canonical_rows,
+    certificate_from_json,
+)
+from .checker import check, check_ensemble, violation, violation_ensemble
+from .witness import ExtractionStats, extract_tucker_witness
+
+__all__ = [
+    "TUCKER_FAMILY_NAMES",
+    "canonical_rows",
+    "OrderCertificate",
+    "TuckerWitness",
+    "CertifiedResult",
+    "certificate_from_json",
+    "check",
+    "check_ensemble",
+    "violation",
+    "violation_ensemble",
+    "ExtractionStats",
+    "extract_tucker_witness",
+    "certified_path_realization",
+    "certified_cycle_realization",
+    "require_consecutive_ones_order",
+    "require_circular_ones_order",
+]

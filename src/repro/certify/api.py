@@ -1,0 +1,101 @@
+"""High-level certifying entry points.
+
+These wrap the plain solvers so that *every* answer carries a proof:
+
+* acceptance → :class:`~repro.certify.certificates.OrderCertificate`
+  (the realized layout, replayable by the independent checker or by
+  ``BinaryMatrix.verify_row_order`` / ``verify_column_order``);
+* rejection → :class:`~repro.certify.certificates.TuckerWitness`
+  (a minimal Tucker obstruction embedded in the input, validated by the
+  independent checker before it is returned).
+
+The same functions back the ``certify=True`` keyword of
+:func:`repro.core.path_realization` / :func:`repro.core.cycle_realization`
+and their ``find_*`` aliases, so certification is available on both kernels
+and both decomposition engines.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core.instrument import SolverStats
+from ..core.solver import cycle_realization, path_realization
+from ..ensemble import Ensemble
+from .certificates import CertifiedResult, OrderCertificate
+from .witness import ExtractionStats, extract_tucker_witness
+
+Atom = Hashable
+
+__all__ = [
+    "certified_path_realization",
+    "certified_cycle_realization",
+    "require_consecutive_ones_order",
+    "require_circular_ones_order",
+]
+
+
+def certified_path_realization(
+    ensemble: Ensemble,
+    stats: SolverStats | None = None,
+    *,
+    kernel: str = "indexed",
+    engine: str | None = None,
+    extraction_stats: ExtractionStats | None = None,
+) -> CertifiedResult:
+    """Decide the consecutive-ones property with a certificate either way."""
+    order = path_realization(ensemble, stats, kernel=kernel, engine=engine)
+    if order is not None:
+        layout = tuple(order)
+        return CertifiedResult(layout, OrderCertificate("consecutive", layout))
+    witness = extract_tucker_witness(
+        ensemble, kernel=kernel, engine=engine, stats=extraction_stats,
+        assume_rejected=True,
+    )
+    return CertifiedResult(None, witness)
+
+
+def certified_cycle_realization(
+    ensemble: Ensemble,
+    stats: SolverStats | None = None,
+    *,
+    kernel: str = "indexed",
+    engine: str | None = None,
+    extraction_stats: ExtractionStats | None = None,
+) -> CertifiedResult:
+    """Decide the circular-ones property with a certificate either way."""
+    order = cycle_realization(ensemble, stats, kernel=kernel, engine=engine)
+    if order is not None:
+        layout = tuple(order)
+        return CertifiedResult(layout, OrderCertificate("circular", layout))
+    witness = extract_tucker_witness(
+        ensemble, kernel=kernel, engine=engine, circular=True,
+        stats=extraction_stats, assume_rejected=True,
+    )
+    return CertifiedResult(None, witness)
+
+
+def require_consecutive_ones_order(
+    ensemble: Ensemble,
+    *,
+    kernel: str = "indexed",
+    engine: str | None = None,
+) -> list:
+    """The realizing order, or :class:`~repro.errors.NotC1PError` carrying a
+    checkable Tucker witness — for callers that prefer raise-with-proof over
+    ``None`` returns."""
+    result = certified_path_realization(ensemble, kernel=kernel, engine=engine)
+    result.raise_if_rejected()
+    return list(result.order)
+
+
+def require_circular_ones_order(
+    ensemble: Ensemble,
+    *,
+    kernel: str = "indexed",
+    engine: str | None = None,
+) -> list:
+    """Circular counterpart of :func:`require_consecutive_ones_order`."""
+    result = certified_cycle_realization(ensemble, kernel=kernel, engine=engine)
+    result.raise_if_rejected()
+    return list(result.order)

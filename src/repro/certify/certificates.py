@@ -1,0 +1,268 @@
+"""Certificate data model for the certifying solver.
+
+A *certifying* algorithm returns, along with every answer, a piece of
+evidence that a simple independent checker can validate without trusting (or
+even importing) the solver.  For the consecutive-ones problem both directions
+have natural certificates:
+
+* an **accepted** instance is certified by the realizing layout itself — an
+  :class:`OrderCertificate` is checked by replaying every column against the
+  order (``BinaryMatrix.verify_row_order`` / ``verify_column_order`` or the
+  independent :mod:`repro.certify.checker`);
+* a **rejected** instance is certified by a :class:`TuckerWitness`: Tucker's
+  structure theorem (JCTB 1972) says a matrix lacks C1P iff it contains one
+  of the five minimal obstruction families ``M_I(k)``, ``M_II(k)``,
+  ``M_III(k)``, ``M_IV``, ``M_V`` as a configuration, so naming the family
+  plus the row/column embedding is a proof of rejection that the checker
+  validates by direct submatrix inspection.
+
+Circular-ones rejections reuse the same witness shape through Tucker's
+pivot-complementation equivalence: an ensemble has the circular-ones property
+iff complementing every column containing a fixed *pivot* atom (with respect
+to the full atom universe) yields a consecutive-ones instance.  A
+:class:`TuckerWitness` with :attr:`~TuckerWitness.pivot` set therefore
+certifies a circular rejection — the checker re-complements the named rows
+before comparing against the family form.
+
+Everything in this module is pure data (no solver imports), so the
+independent checker may import it without compromising its independence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from ..errors import CertificationError, NotC1PError
+
+Atom = Hashable
+
+__all__ = [
+    "TUCKER_FAMILY_NAMES",
+    "canonical_rows",
+    "OrderCertificate",
+    "TuckerWitness",
+    "CertifiedResult",
+    "certificate_from_json",
+]
+
+#: the five Tucker obstruction families; ``M_I``..``M_III`` take the ``k``
+#: parameter, the fixed-size ``M_IV`` / ``M_V`` ignore it (canonically 1)
+TUCKER_FAMILY_NAMES = ("M_I", "M_II", "M_III", "M_IV", "M_V")
+
+
+def canonical_rows(family: str, k: int = 1) -> tuple[int, tuple[frozenset, ...]]:
+    """``(num_matrix_columns, rows)`` of the canonical family form.
+
+    Rows are frozensets of 0-indexed matrix-column positions, in the fixed
+    canonical order the witness embeddings refer to (the same forms as the
+    adversarial corpus in ``tests/corpus_tucker.py``):
+
+    * ``M_I(k)``: rows ``{i, i+1}`` for ``i = 0..k`` plus the closing
+      ``{0, k+1}`` — the chordless cycle on ``k+2`` columns;
+    * ``M_II(k)``: the staircase ``{i, i+1}``, ``i = 0..k``, plus
+      ``{0..k, k+2}`` and ``{1..k+1, k+2}``;
+    * ``M_III(k)``: the staircase ``{i, i+1}``, ``i = 0..k``, plus
+      ``{1..k, k+2}``;
+    * ``M_IV``: ``{0,1}, {2,3}, {4,5}, {0,2,4}``;
+    * ``M_V``: ``{0,1}, {2,3}, {0,1,2,3}, {0,2,4}``.
+    """
+    if family not in TUCKER_FAMILY_NAMES:
+        raise ValueError(f"unknown Tucker family {family!r}")
+    if family in ("M_I", "M_II", "M_III"):
+        if k < 1:
+            raise ValueError(f"{family} requires k >= 1, got {k}")
+    elif k != 1:
+        raise ValueError(f"{family} is fixed-size; its k is canonically 1, got {k}")
+    if family == "M_I":
+        rows = [frozenset({i, i + 1}) for i in range(k + 1)]
+        rows.append(frozenset({0, k + 1}))
+        return k + 2, tuple(rows)
+    if family == "M_II":
+        rows = [frozenset({i, i + 1}) for i in range(k + 1)]
+        rows.append(frozenset(range(k + 1)) | {k + 2})
+        rows.append(frozenset(range(1, k + 2)) | {k + 2})
+        return k + 3, tuple(rows)
+    if family == "M_III":
+        rows = [frozenset({i, i + 1}) for i in range(k + 1)]
+        rows.append(frozenset(range(1, k + 1)) | {k + 2})
+        return k + 3, tuple(rows)
+    if family == "M_IV":
+        return 6, (
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+            frozenset({4, 5}),
+            frozenset({0, 2, 4}),
+        )
+    return 5, (
+        frozenset({0, 1}),
+        frozenset({2, 3}),
+        frozenset({0, 1, 2, 3}),
+        frozenset({0, 2, 4}),
+    )
+
+
+@dataclass(frozen=True)
+class OrderCertificate:
+    """Proof of acceptance: the realizing layout itself.
+
+    ``kind`` is ``"consecutive"`` or ``"circular"``; ``order`` is the full
+    atom layout.  Checking means replaying every column of the instance
+    against the order — no solver machinery involved.
+    """
+
+    kind: str
+    order: tuple
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("consecutive", "circular"):
+            raise CertificationError(
+                f"unknown order-certificate kind {self.kind!r}"
+            )
+        object.__setattr__(self, "order", tuple(self.order))
+
+    def to_json(self) -> dict:
+        """A JSON-serializable rendering (atoms as-is; non-primitive atom
+        labels survive ``json.dump(..., default=str)`` but then only
+        round-trip as strings)."""
+        return {"type": "order", "kind": self.kind, "order": list(self.order)}
+
+
+@dataclass(frozen=True)
+class TuckerWitness:
+    """Proof of rejection: a Tucker obstruction embedded in the input.
+
+    Attributes
+    ----------
+    family, k:
+        Which of the five minimal families the witness is (``k`` is 1 for the
+        fixed-size ``M_IV`` / ``M_V``).
+    row_indices:
+        Indices into the input ensemble's ``columns`` (the matrix *rows* of
+        the Tucker convention), ordered so that position ``j`` realizes
+        canonical row ``j`` of :func:`canonical_rows`.
+    atom_order:
+        The witness atoms (the matrix *columns*), ordered so that position
+        ``i`` realizes canonical column ``i``.
+    pivot:
+        ``None`` for a consecutive-ones rejection.  For a circular-ones
+        rejection, the pivot atom of Tucker's complementation equivalence:
+        every input column *containing* the pivot is complemented with
+        respect to the full atom universe before the submatrix is read off.
+    """
+
+    family: str
+    k: int
+    row_indices: tuple[int, ...]
+    atom_order: tuple
+    pivot: Atom | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "row_indices", tuple(self.row_indices))
+        object.__setattr__(self, "atom_order", tuple(self.atom_order))
+        # shape sanity (cheap; full validation is the checker's job)
+        n, rows = canonical_rows(self.family, self.k)
+        if len(self.atom_order) != n or len(self.row_indices) != len(rows):
+            raise CertificationError(
+                f"witness shape {len(self.row_indices)}x{len(self.atom_order)} "
+                f"does not match {self.family}(k={self.k})"
+            )
+
+    @property
+    def kind(self) -> str:
+        """The property this witness refutes."""
+        return "consecutive" if self.pivot is None else "circular"
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.row_indices)
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atom_order)
+
+    def describe(self, column_names: tuple[str, ...] | None = None) -> str:
+        """One-line human rendering, optionally with input column names."""
+        if column_names:
+            rows = ", ".join(column_names[i] for i in self.row_indices)
+        else:
+            rows = ", ".join(str(i) for i in self.row_indices)
+        atoms = ", ".join(str(a) for a in self.atom_order)
+        pivot = "" if self.pivot is None else f" pivot={self.pivot}"
+        return f"{self.family}(k={self.k}) rows=[{rows}] atoms=[{atoms}]{pivot}"
+
+    def to_json(self) -> dict:
+        payload: dict = {
+            "type": "tucker",
+            "family": self.family,
+            "k": self.k,
+            "row_indices": list(self.row_indices),
+            "atom_order": list(self.atom_order),
+        }
+        if self.pivot is not None:
+            payload["pivot"] = self.pivot
+        return payload
+
+
+def certificate_from_json(payload: Mapping) -> OrderCertificate | TuckerWitness:
+    """Rebuild a certificate from its :meth:`to_json` rendering.
+
+    Atom labels come back exactly as JSON stored them, so int/str-labelled
+    instances round-trip; exotic labels serialized through ``default=str``
+    come back as strings.
+    """
+    kind = payload.get("type")
+    if kind == "order":
+        return OrderCertificate(payload["kind"], tuple(payload["order"]))
+    if kind == "tucker":
+        return TuckerWitness(
+            family=payload["family"],
+            k=int(payload["k"]),
+            row_indices=tuple(payload["row_indices"]),
+            atom_order=tuple(payload["atom_order"]),
+            pivot=payload.get("pivot"),
+        )
+    raise CertificationError(f"unknown certificate payload type {kind!r}")
+
+
+@dataclass(frozen=True)
+class CertifiedResult:
+    """A solver answer plus the certificate proving it.
+
+    ``order`` is the realizing layout (``None`` on rejection); ``certificate``
+    is an :class:`OrderCertificate` on acceptance and a :class:`TuckerWitness`
+    on rejection.
+    """
+
+    order: tuple | None
+    certificate: OrderCertificate | TuckerWitness
+
+    @property
+    def ok(self) -> bool:
+        """True when the instance has the requested property."""
+        return self.order is not None
+
+    @property
+    def kind(self) -> str:
+        """``"consecutive"`` or ``"circular"`` (from the certificate)."""
+        return self.certificate.kind
+
+    def raise_if_rejected(self) -> "CertifiedResult":
+        """Raise :class:`~repro.errors.NotC1PError` carrying the witness when
+        the instance was rejected; return ``self`` otherwise."""
+        if self.order is None:
+            witness = self.certificate
+            raise NotC1PError(
+                f"instance does not have the {self.kind}-ones property: "
+                f"contains Tucker obstruction {witness.describe()}",
+                witness=witness,
+            )
+        return self
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "kind": self.kind,
+            "order": None if self.order is None else list(self.order),
+            "certificate": self.certificate.to_json(),
+        }

@@ -1,0 +1,231 @@
+"""Independent certificate checker: validates proofs by direct inspection.
+
+This module is the trusted base of the certifying solver, so it is kept
+deliberately *independent*: it imports nothing from the solver stack — no
+recursion drivers, no kernels, no decomposition engines, no
+:mod:`repro.ensemble` helpers — only the standard library and the pure-data
+certificate classes of :mod:`repro.certify.certificates`.  It even re-derives
+the five Tucker family forms locally (:func:`_family_rows`) instead of
+reusing :func:`~repro.certify.certificates.canonical_rows`, so that a bug in
+the shared form generator cannot silently certify its own wrong output; the
+test suite cross-validates the two derivations against each other and
+against the adversarial corpus.
+
+Checking is a handful of loops over the raw instance data:
+
+* an :class:`~repro.certify.certificates.OrderCertificate` is checked by
+  verifying the order is a permutation of the atoms and replaying every
+  column against it (contiguous block / single circular arc);
+* a :class:`~repro.certify.certificates.TuckerWitness` is checked by reading
+  the named row/atom submatrix straight out of the input (complementing
+  pivot rows first for circular witnesses) and comparing it cell-for-cell
+  with the canonical family form.
+
+:func:`violation` returns a human-readable reason string (or ``None`` when
+the certificate is valid); :func:`check` is the boolean form.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Sequence
+
+from .certificates import OrderCertificate, TuckerWitness
+
+Atom = Hashable
+
+__all__ = [
+    "check",
+    "violation",
+    "check_ensemble",
+    "violation_ensemble",
+]
+
+
+# ---------------------------------------------------------------------- #
+# the Tucker family forms, re-derived locally (see module docstring)
+# ---------------------------------------------------------------------- #
+def _family_rows(family: str, k: int) -> tuple[int, list[frozenset]]:
+    """``(num_matrix_columns, canonical rows)`` — independent derivation."""
+    if family == "M_I":
+        if k < 1:
+            raise ValueError("M_I requires k >= 1")
+        n = k + 2
+        return n, [frozenset({i, (i + 1) % n}) for i in range(n - 1)] + [
+            frozenset({0, n - 1})
+        ]
+    if family == "M_II":
+        if k < 1:
+            raise ValueError("M_II requires k >= 1")
+        rows = [frozenset({i, i + 1}) for i in range(k + 1)]
+        rows.append(frozenset(set(range(0, k + 1)) | {k + 2}))
+        rows.append(frozenset(set(range(1, k + 2)) | {k + 2}))
+        return k + 3, rows
+    if family == "M_III":
+        if k < 1:
+            raise ValueError("M_III requires k >= 1")
+        rows = [frozenset({i, i + 1}) for i in range(k + 1)]
+        rows.append(frozenset(set(range(1, k + 1)) | {k + 2}))
+        return k + 3, rows
+    if family == "M_IV":
+        if k != 1:
+            raise ValueError("M_IV is fixed-size (k must be 1)")
+        return 6, [
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+            frozenset({4, 5}),
+            frozenset({0, 2, 4}),
+        ]
+    if family == "M_V":
+        if k != 1:
+            raise ValueError("M_V is fixed-size (k must be 1)")
+        return 5, [
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+            frozenset({0, 1, 2, 3}),
+            frozenset({0, 2, 4}),
+        ]
+    raise ValueError(f"unknown Tucker family {family!r}")
+
+
+# ---------------------------------------------------------------------- #
+# order certificates
+# ---------------------------------------------------------------------- #
+def _order_violation(
+    atoms: Sequence[Atom],
+    columns: Sequence[Iterable[Atom]],
+    cert: OrderCertificate,
+) -> str | None:
+    order = list(cert.order)
+    if Counter(order) != Counter(atoms):
+        return "order is not a permutation of the atom universe"
+    position = {a: i for i, a in enumerate(order)}
+    n = len(order)
+    for j, column in enumerate(columns):
+        members = set(column)
+        if len(members) <= 1:
+            continue
+        flags = [0] * n
+        for a in members:
+            flags[position[a]] = 1
+        count = sum(flags)
+        if cert.kind == "consecutive":
+            first = flags.index(1)
+            if flags[first : first + count] != [1] * count:
+                return f"column {j} is not contiguous in the claimed order"
+        else:
+            if count == n:
+                continue
+            starts = sum(
+                1
+                for i in range(n)
+                if flags[i] == 0 and flags[(i + 1) % n] == 1
+            )
+            if starts != 1:
+                return f"column {j} is not a circular arc of the claimed order"
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Tucker witnesses
+# ---------------------------------------------------------------------- #
+def _witness_violation(
+    atoms: Sequence[Atom],
+    columns: Sequence[Iterable[Atom]],
+    witness: TuckerWitness,
+) -> str | None:
+    try:
+        n_canon, canon = _family_rows(witness.family, witness.k)
+    except ValueError as exc:
+        return str(exc)
+    universe = set(atoms)
+    if len(universe) != len(tuple(atoms)):
+        return "atom universe contains duplicates"
+
+    selected = list(witness.atom_order)
+    if len(set(selected)) != len(selected):
+        return "witness atoms are not distinct"
+    if not set(selected) <= universe:
+        return "witness references atoms outside the universe"
+    if len(selected) != n_canon:
+        return (
+            f"witness names {len(selected)} atoms but "
+            f"{witness.family}(k={witness.k}) has {n_canon} columns"
+        )
+
+    rows = list(witness.row_indices)
+    if len(set(rows)) != len(rows):
+        return "witness rows are not distinct"
+    if len(rows) != len(canon):
+        return (
+            f"witness names {len(rows)} rows but "
+            f"{witness.family}(k={witness.k}) has {len(canon)} rows"
+        )
+    num_columns = len(tuple(columns))
+    for idx in rows:
+        if not isinstance(idx, int) or not 0 <= idx < num_columns:
+            return f"witness row index {idx!r} is out of range"
+
+    if witness.pivot is not None and witness.pivot not in universe:
+        return "witness pivot is not an atom of the instance"
+
+    columns_list = [set(column) for column in columns]
+    for column in columns_list:
+        if not column <= universe:
+            return "instance column references atoms outside the universe"
+
+    place = {a: i for i, a in enumerate(selected)}
+    chosen = set(selected)
+    for j, canon_row in enumerate(canon):
+        base = columns_list[rows[j]]
+        if witness.pivot is not None and witness.pivot in base:
+            base = universe - base
+        got = frozenset(place[a] for a in base & chosen)
+        if got != canon_row:
+            return (
+                f"witness row {j} (input row {rows[j]}) restricted to the "
+                f"witness atoms is {sorted(got)}, expected {sorted(canon_row)} "
+                f"for {witness.family}(k={witness.k})"
+            )
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# public entry points
+# ---------------------------------------------------------------------- #
+def violation(
+    atoms: Sequence[Atom],
+    columns: Sequence[Iterable[Atom]],
+    certificate: OrderCertificate | TuckerWitness,
+) -> str | None:
+    """Why ``certificate`` fails to certify the instance, or ``None`` if it
+    is valid.
+
+    ``atoms`` is the instance's atom universe, ``columns`` its column sets
+    (the ensemble convention: the matrix's rows, in the Tucker view).
+    """
+    if isinstance(certificate, OrderCertificate):
+        return _order_violation(atoms, columns, certificate)
+    if isinstance(certificate, TuckerWitness):
+        return _witness_violation(atoms, columns, certificate)
+    return f"unknown certificate type {type(certificate).__name__}"
+
+
+def check(
+    atoms: Sequence[Atom],
+    columns: Sequence[Iterable[Atom]],
+    certificate: OrderCertificate | TuckerWitness,
+) -> bool:
+    """True when ``certificate`` is a valid proof for the instance."""
+    return violation(atoms, columns, certificate) is None
+
+
+def violation_ensemble(ensemble, certificate) -> str | None:
+    """Like :func:`violation`, reading ``.atoms`` / ``.columns`` off any
+    ensemble-shaped object (duck-typed — keeps this module import-free)."""
+    return violation(ensemble.atoms, ensemble.columns, certificate)
+
+
+def check_ensemble(ensemble, certificate) -> bool:
+    """Like :func:`check` for ensemble-shaped objects."""
+    return violation_ensemble(ensemble, certificate) is None

@@ -1,0 +1,439 @@
+"""Tucker-obstruction witness extraction from rejected instances.
+
+Given an ensemble the solver rejects, this module localizes a *minimal*
+non-C1P submatrix — by Tucker's structure theorem exactly one of the five
+obstruction families — and returns it as a
+:class:`~repro.certify.certificates.TuckerWitness` whose embedding the
+independent checker re-validates before it is handed out.
+
+The extraction strategy is **greedy chunked deletion narrowing** (DESIGN.md,
+Substitution 4), not the pattern-specific BFS searches of Chauve, Stephen
+and Tamayo: delete a chunk of rows, re-solve the shrunken instance on the
+fast indexed kernel, and keep the deletion whenever the instance stays
+non-C1P.  Two monotonicity facts make this sound and cheap:
+
+* C1P is closed under row and column deletion, so a *refused* deletion
+  (the instance became C1P without the row) stays refused forever — a row
+  whose deletion makes the instance C1P is in **every** witness and can be
+  committed to permanently;
+* consequently a single sweep at chunk size 1 certifies minimality, and the
+  coarse-to-fine chunk schedule (half, quarter, ..., 1) removes the bulk of
+  a large instance in ``O(log)`` many re-solves instead of one per row.
+
+Rows are narrowed first (restricting each test to the atoms the surviving
+rows touch, since isolated atoms never affect the decision), then atoms; the
+row-minimality established by the first pass survives the second because
+refusals are permanent.  The narrowed matrix is then classified into its
+family purely structurally (cycle walk, staircase walk, pair/triple
+matching) and the embedding is returned in canonical order.
+
+Circular-ones rejections are reduced to the linear case through Tucker's
+pivot complementation: complement every column containing a fixed pivot atom
+with respect to the full universe; the result is non-C1P iff the original
+lacks circular-ones, and a witness of the complemented instance (tagged with
+the pivot) is a checkable circular rejection proof.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+from ..core.solver import path_realization
+from ..ensemble import Ensemble
+from ..errors import CertificationError
+from .certificates import TuckerWitness, canonical_rows
+from .checker import violation_ensemble
+
+Atom = Hashable
+
+__all__ = ["extract_tucker_witness", "ExtractionStats"]
+
+
+class ExtractionStats:
+    """Counters filled in by :func:`extract_tucker_witness` (for benchmarks
+    and the ``certify_work`` cost model): how many narrowing re-solves ran
+    and how large the narrowed witness ended up."""
+
+    def __init__(self) -> None:
+        self.solve_calls = 0
+        self.witness_rows = 0
+        self.witness_atoms = 0
+
+
+def _restrict_to_rejecting_component(
+    row_items: list[tuple[int, frozenset]],
+    still_rejecting: Callable[[list], bool],
+) -> list[tuple[int, frozenset]]:
+    """Keep only one rejecting connected component of the rows.
+
+    A disconnected instance is C1P iff every component is, so a rejected
+    instance has a rejecting component; the obstruction lives inside it, and
+    every minimal obstruction is connected.  Testing components (smallest
+    first, so the cheap solves run first) replaces many near-full-size
+    narrowing re-solves with a handful of component-sized ones — the big win
+    when the obstruction does not touch most of the instance.
+    """
+    cols = tuple(col for _, col in row_items)
+    universe = tuple(set().union(*cols)) if cols else ()
+    groups = Ensemble(universe, cols).overlap_components()
+    if len(groups) <= 1:
+        return row_items
+    components = [[row_items[p] for p in group] for group in groups]
+    components.sort(key=lambda comp: sum(len(col) for _, col in comp))
+    for component in components:
+        if still_rejecting(component):
+            return component
+    # unreachable when the whole row set rejects: some component must
+    return row_items  # pragma: no cover - defensive
+
+
+def _greedy_minimize(
+    items: list,
+    still_rejecting: Callable[[list], bool],
+    between_levels: Callable[[list], list] | None = None,
+) -> list:
+    """Shrink ``items`` to a minimal sublist on which ``still_rejecting`` holds.
+
+    Precondition: ``still_rejecting(items)`` is true.  Deletions are tried in
+    chunks of geometrically decreasing size; a successful deletion (the
+    predicate still holds) is committed immediately.  Because the predicate
+    is monotone (it keeps holding under further deletions once it holds), the
+    final chunk-size-1 sweep tries every surviving item and certifies that
+    the result is minimal: deleting any single remaining item breaks the
+    predicate.
+
+    Each level walks back-to-front: callers sort likely-needed items to the
+    front, so the tail chunks commit first and the expensive refusal
+    re-solves run on an already-shrunken list.  ``between_levels`` (e.g. a
+    component restriction) may replace the list with any sublist on which
+    the predicate still holds.
+    """
+    chunk = max(1, len(items) // 2)
+    while True:
+        i = ((max(0, len(items) - 1)) // chunk) * chunk
+        while i >= 0:
+            trial = items[:i] + items[i + chunk :]
+            if still_rejecting(trial):
+                items = trial
+            i -= chunk
+        if chunk == 1:
+            return items
+        chunk = max(1, chunk // 2)
+        if between_levels is not None:
+            items = between_levels(items)
+
+
+# ---------------------------------------------------------------------- #
+# family classification of the narrowed (minimal) matrix
+# ---------------------------------------------------------------------- #
+def _fail(msg: str, m: int, n: int, sizes: list[int]):
+    raise CertificationError(
+        f"narrowed matrix does not classify as a Tucker family: {msg} "
+        f"(rows={m}, atoms={n}, row sizes={sizes})"
+    )
+
+
+def _walk_path(rows: list[frozenset], positions: list[int], atoms: Sequence[Atom]):
+    """Order the size-2 rows at ``positions`` into a simple path.
+
+    Returns ``(atom_walk, row_walk)``: the path's atoms end-to-end and the
+    row positions in walk order.  Raises when the rows do not form a path.
+    """
+    incident: dict[Atom, list[int]] = {}
+    for p in positions:
+        for a in rows[p]:
+            incident.setdefault(a, []).append(p)
+    if any(len(ps) > 2 for ps in incident.values()):
+        raise CertificationError("small rows do not form a path (branch vertex)")
+    ends = [a for a in atoms if len(incident.get(a, ())) == 1]
+    if len(ends) != 2 or len(incident) != len(positions) + 1:
+        raise CertificationError("small rows do not form a single path")
+    cur = ends[0]
+    atom_walk = [cur]
+    row_walk: list[int] = []
+    prev = -1
+    for _ in range(len(positions)):
+        nxt_rows = [p for p in incident[cur] if p != prev]
+        if len(nxt_rows) != 1:
+            raise CertificationError("small rows do not form a single path")
+        p = nxt_rows[0]
+        (nxt,) = tuple(rows[p] - {cur})
+        row_walk.append(p)
+        atom_walk.append(nxt)
+        prev = p
+        cur = nxt
+    if len(set(atom_walk)) != len(atom_walk):
+        raise CertificationError("small rows revisit an atom (not a path)")
+    return atom_walk, row_walk
+
+
+def _classify(
+    atoms: list[Atom], restricted_rows: list[frozenset]
+) -> tuple[str, int, list[int], list[Atom]]:
+    """Classify a minimal non-C1P matrix into its Tucker family.
+
+    Returns ``(family, k, row_permutation, atom_order)`` where
+    ``row_permutation[j]`` is the position (within ``restricted_rows``) that
+    realizes canonical row ``j`` and ``atom_order[i]`` realizes canonical
+    matrix-column ``i``.
+    """
+    rows = list(restricted_rows)
+    m, n = len(rows), len(atoms)
+    sizes = sorted(len(r) for r in rows)
+    atom_set = set(atoms)
+    degree = {a: sum(1 for r in rows if a in r) for a in atoms}
+
+    # ---- M_I(k): the chordless cycle --------------------------------- #
+    if m == n and sizes and sizes[-1] == 2:
+        if m < 3 or sizes[0] != 2:
+            _fail("square all-pairs matrix too small", m, n, sizes)
+        if any(degree[a] != 2 for a in atoms):
+            _fail("pair rows do not form a 2-regular cycle", m, n, sizes)
+        incident: dict[Atom, list[int]] = {}
+        for p, r in enumerate(rows):
+            for a in r:
+                incident.setdefault(a, []).append(p)
+        start = atoms[0]
+        atom_order = [start]
+        row_perm: list[int] = []
+        prev = -1
+        cur = start
+        for _ in range(n - 1):
+            nxt_rows = [p for p in incident[cur] if p != prev]
+            if not nxt_rows:
+                _fail("cycle walk stuck", m, n, sizes)
+            p = nxt_rows[0]
+            (nxt,) = tuple(rows[p] - {cur})
+            row_perm.append(p)
+            atom_order.append(nxt)
+            prev = p
+            cur = nxt
+        closing = [p for p in range(m) if p not in set(row_perm)]
+        if len(closing) != 1 or rows[closing[0]] != frozenset({start, cur}):
+            _fail("pair rows do not close into a single cycle", m, n, sizes)
+        if len(set(atom_order)) != n:
+            _fail("pair rows split into several cycles", m, n, sizes)
+        row_perm.append(closing[0])
+        return "M_I", n - 2, row_perm, atom_order
+
+    # ---- M_II(k): staircase plus two long rows ----------------------- #
+    if m == n:
+        k = m - 3
+        if k < 1 or sizes != [2] * (k + 1) + [k + 2] * 2:
+            _fail("square matrix with long rows has wrong size profile", m, n, sizes)
+        big = [p for p, r in enumerate(rows) if len(r) == k + 2]
+        small = [p for p, r in enumerate(rows) if len(r) == 2]
+        atom_walk, row_walk = _walk_path(rows, small, atoms)
+        covered = set(atom_walk)
+        extra = atom_set - covered
+        if len(extra) != 1:
+            _fail("expected exactly one atom outside the staircase", m, n, sizes)
+        (z,) = extra
+        e1, e2 = atom_walk[0], atom_walk[-1]
+        first = [p for p in big if e2 not in rows[p]]
+        last = [p for p in big if e1 not in rows[p]]
+        if len(first) != 1 or len(last) != 1 or first == last:
+            _fail("long rows do not split the staircase endpoints", m, n, sizes)
+        if rows[first[0]] != frozenset(atom_walk[:-1]) | {z}:
+            _fail("first long row mismatch", m, n, sizes)
+        if rows[last[0]] != frozenset(atom_walk[1:]) | {z}:
+            _fail("second long row mismatch", m, n, sizes)
+        return "M_II", k, row_walk + [first[0], last[0]], atom_walk + [z]
+
+    # ---- M_V: two pairs, their union, and a crossing triple ---------- #
+    if n == m + 1 and m == 4 and sizes == [2, 2, 3, 4]:
+        by_size = {len(r): [] for r in rows}
+        for p, r in enumerate(rows):
+            by_size[len(r)].append(p)
+        (p_union,) = by_size[4]
+        (p_triple,) = by_size[3]
+        pair_a, pair_b = by_size[2]
+        union, triple = rows[p_union], rows[p_triple]
+        if rows[pair_a] | rows[pair_b] != union or rows[pair_a] & rows[pair_b]:
+            _fail("size-4 row is not the disjoint union of the pairs", m, n, sizes)
+        outside = triple - union
+        in_a = triple & rows[pair_a]
+        in_b = triple & rows[pair_b]
+        if len(outside) != 1 or len(in_a) != 1 or len(in_b) != 1:
+            _fail("triple does not cross both pairs and the outside atom", m, n, sizes)
+        (e,) = outside
+        (x,) = in_a
+        (y,) = in_b
+        (x2,) = tuple(rows[pair_a] - {x})
+        (y2,) = tuple(rows[pair_b] - {y})
+        return "M_V", 1, [pair_a, pair_b, p_union, p_triple], [x, x2, y, y2, e]
+
+    # ---- M_III(k): staircase plus one interior row ------------------- #
+    if n == m + 1:
+        k = m - 2
+        if k < 1 or sizes != sorted([2] * (k + 1) + [k + 1]):
+            _fail("near-square matrix has wrong size profile", m, n, sizes)
+        if k == 1:
+            # the star {0,1}, {1,2}, {1,3}: all rows are pairs
+            centers = [a for a in atoms if degree[a] == 3]
+            if len(centers) != 1:
+                _fail("3x4 all-pairs matrix is not a star", m, n, sizes)
+            (c,) = centers
+            leaves = []
+            for r in rows:
+                if c not in r:
+                    _fail("star row misses the center", m, n, sizes)
+                (leaf,) = tuple(r - {c})
+                leaves.append(leaf)
+            if len(set(leaves)) != 3:
+                _fail("star leaves are not distinct", m, n, sizes)
+            return "M_III", 1, [0, 1, 2], [leaves[0], c, leaves[1], leaves[2]]
+        big = [p for p, r in enumerate(rows) if len(r) == k + 1]
+        small = [p for p, r in enumerate(rows) if len(r) == 2]
+        if len(big) != 1:
+            _fail("expected exactly one long row", m, n, sizes)
+        atom_walk, row_walk = _walk_path(rows, small, atoms)
+        extra = atom_set - set(atom_walk)
+        if len(extra) != 1:
+            _fail("expected exactly one atom outside the staircase", m, n, sizes)
+        (z,) = extra
+        if rows[big[0]] != frozenset(atom_walk[1:-1]) | {z}:
+            _fail("long row is not the staircase interior plus the extra atom",
+                  m, n, sizes)
+        return "M_III", k, row_walk + [big[0]], atom_walk + [z]
+
+    # ---- M_IV: three disjoint pairs crossed by a triple -------------- #
+    if n == m + 2 and m == 4 and sizes == [2, 2, 2, 3]:
+        triples = [p for p, r in enumerate(rows) if len(r) == 3]
+        pairs = [p for p, r in enumerate(rows) if len(r) == 2]
+        (p_triple,) = triples
+        triple = rows[p_triple]
+        seen: set[Atom] = set()
+        atom_order: list[Atom] = []
+        for p in pairs:
+            if rows[p] & seen:
+                _fail("pair rows are not disjoint", m, n, sizes)
+            seen |= rows[p]
+            hit = rows[p] & triple
+            if len(hit) != 1:
+                _fail("triple does not cross every pair exactly once", m, n, sizes)
+            (x,) = hit
+            (y,) = tuple(rows[p] - {x})
+            atom_order.extend((x, y))
+        if triple != frozenset(atom_order[0::2]):
+            _fail("triple contains an atom outside the pairs", m, n, sizes)
+        return "M_IV", 1, pairs + [p_triple], atom_order
+
+    _fail("no family has this shape", m, n, sizes)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------- #
+# extraction driver
+# ---------------------------------------------------------------------- #
+def extract_tucker_witness(
+    ensemble: Ensemble,
+    *,
+    kernel: str = "indexed",
+    engine: str | None = None,
+    circular: bool = False,
+    stats: ExtractionStats | None = None,
+    assume_rejected: bool = False,
+) -> TuckerWitness:
+    """Extract a checkable Tucker witness from a rejected instance.
+
+    ``ensemble`` must *not* have the consecutive-ones property (circular-ones
+    when ``circular`` is true) — :class:`~repro.errors.CertificationError` is
+    raised otherwise, since a realizable instance contains no obstruction.
+    ``kernel`` / ``engine`` select the solver configuration used for the
+    narrowing re-solves, exactly as in :func:`repro.core.path_realization`.
+
+    ``assume_rejected`` skips the initial full-instance rejection re-solve;
+    the ``certified_*`` wrappers (and any caller that just watched the
+    solver return ``None``) set it to avoid paying that solve twice.  A
+    wrong assumption can never certify a realizable instance — narrowing
+    then refuses every deletion and classification fails with
+    :class:`~repro.errors.CertificationError` — it only costs the clearer
+    early error message.
+
+    The returned witness is re-validated against the input by the
+    independent checker before being handed back, so a successful return is
+    a machine-checked proof of rejection.
+    """
+    atoms = tuple(ensemble.atoms)
+    if circular:
+        if not atoms:
+            raise CertificationError("empty universe trivially has circular-ones")
+        pivot: Atom | None = atoms[0]
+        universe = frozenset(atoms)
+        base_rows = [
+            frozenset(universe - col) if pivot in col else frozenset(col)
+            for col in ensemble.columns
+        ]
+    else:
+        pivot = None
+        base_rows = [frozenset(col) for col in ensemble.columns]
+
+    counters = stats if stats is not None else ExtractionStats()
+
+    def rejects(row_items: list[tuple[int, frozenset]], atom_pool: Sequence[Atom]) -> bool:
+        counters.solve_calls += 1
+        pool = set(atom_pool)
+        trial = Ensemble(
+            tuple(a for a in atom_pool),
+            tuple(col & pool for _, col in row_items),
+        )
+        return path_realization(trial, kernel=kernel, engine=engine) is None
+
+    row_items = list(enumerate(base_rows))
+    if not assume_rejected and not rejects(row_items, atoms):
+        prop = "circular-ones" if circular else "consecutive-ones"
+        raise CertificationError(
+            f"instance has the {prop} property; there is no Tucker witness "
+            "to extract"
+        )
+
+    # Narrow rows first.  Each test only needs the atoms the surviving rows
+    # touch — isolated atoms are singleton components and never change the
+    # decision — which shrinks the re-solves as deletions commit.
+    def rejects_rows(items: list[tuple[int, frozenset]]) -> bool:
+        touched = set().union(*(col for _, col in items)) if items else set()
+        return rejects(items, tuple(a for a in atoms if a in touched))
+
+    row_items = _restrict_to_rejecting_component(row_items, rejects_rows)
+    # Tucker rows are short (size <= k+2), so sorting by size clusters the
+    # obstruction near the front; the back-to-front level walk then commits
+    # the large padding rows before any refusal re-solve runs.  Deletions
+    # can disconnect the remainder, so the component restriction is
+    # re-applied between chunk levels.
+    row_items.sort(key=lambda item: len(item[1]))
+    row_items = _greedy_minimize(
+        row_items,
+        rejects_rows,
+        between_levels=lambda items: _restrict_to_rejecting_component(
+            items, rejects_rows
+        ),
+    )
+
+    # Then narrow atoms, holding the (now minimal) row set fixed.  Row
+    # minimality survives: a refused row deletion gave a C1P instance, and
+    # C1P is preserved under further atom deletion.
+    touched = set().union(*(col for _, col in row_items))
+    atom_pool = [a for a in atoms if a in touched]
+    atom_pool = _greedy_minimize(atom_pool, lambda ats: rejects(row_items, ats))
+
+    kept = set(atom_pool)
+    restricted = [col & kept for _, col in row_items]
+    family, k, row_perm, atom_order = _classify(atom_pool, restricted)
+
+    witness = TuckerWitness(
+        family=family,
+        k=k,
+        row_indices=tuple(row_items[p][0] for p in row_perm),
+        atom_order=tuple(atom_order),
+        pivot=pivot,
+    )
+    counters.witness_rows = witness.num_rows
+    counters.witness_atoms = witness.num_atoms
+
+    problem = violation_ensemble(ensemble, witness)
+    if problem is not None:  # pragma: no cover - internal invariant
+        raise CertificationError(
+            f"extracted witness failed independent validation: {problem}"
+        )
+    return witness

@@ -4,7 +4,10 @@ Reads a (0,1)-matrix from a file (CSV of 0/1 entries, ``#`` comments and
 blank lines ignored), tests the consecutive-ones (or circular-ones) property
 and prints a realizing row order plus the permuted matrix.  The ``batch``
 subcommand solves many matrix files at once over a process pool and reports
-throughput.
+throughput; the ``certify`` subcommand solves one matrix and emits a
+machine-checkable certificate either way (the realizing order, or a Tucker
+obstruction witness validated by the independent checker).  ``--certify``
+on the plain and batch modes attaches the same certificates inline.
 
 Examples
 --------
@@ -13,8 +16,10 @@ Examples
     python -m repro matrix.csv                 # consecutive-ones, row order
     python -m repro matrix.csv --columns       # permute columns instead
     python -m repro matrix.csv --circular      # circular-ones
+    python -m repro matrix.csv --certify       # print a witness on rejection
     python -m repro --demo                     # run on a built-in example
     python -m repro batch a.csv b.csv --processes 0   # batch over all CPUs
+    python -m repro certify matrix.csv --json cert.json   # certificate as JSON
 """
 
 from __future__ import annotations
@@ -26,11 +31,12 @@ import time
 from typing import Sequence
 
 from .batch import solve_many
+from .certify import check_ensemble
 from .core import ENGINES, cycle_realization, path_realization
 from .tutte.decomposition import resolve_engine
 from .matrix import BinaryMatrix
 
-__all__ = ["main", "batch_main", "parse_matrix_text"]
+__all__ = ["main", "batch_main", "certify_main", "parse_matrix_text"]
 
 _DEMO = """\
 0 1 1 0 0
@@ -69,8 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Test and realize the consecutive-ones property of a (0,1)-matrix.",
         epilog="Use 'repro batch FILE [FILE ...]' to solve many matrices at once "
-        "over a process pool (see 'repro batch --help'). A matrix file "
-        "literally named 'batch' can be solved as './batch'.",
+        "over a process pool, or 'repro certify FILE' for a standalone "
+        "certificate report (see their --help). A matrix file literally "
+        "named 'batch' or 'certify' can be solved as './batch'.",
     )
     parser.add_argument("matrix", nargs="?", help="path to the matrix file ('-' for stdin)")
     parser.add_argument("--demo", action="store_true", help="run on a built-in example matrix")
@@ -88,6 +95,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="Tutte decomposition engine for the combine step "
         "(default: spqr, the near-linear palm-tree engine)",
+    )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="on rejection, extract and print a Tucker obstruction witness "
+        "(validated by the independent checker)",
     )
     parser.add_argument("--quiet", action="store_true", help="print only the order (or NO)")
     return parser
@@ -122,9 +135,48 @@ def _build_batch_parser() -> argparse.ArgumentParser:
         help="Tutte decomposition engine for the combine step "
         "(default: spqr, the near-linear palm-tree engine)",
     )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="attach certificates to every result: the realizing order on "
+        "acceptance, a Tucker obstruction witness on rejection",
+    )
     parser.add_argument("--quiet", action="store_true", help="print only per-file results")
     parser.add_argument(
         "--json", metavar="PATH", help="also write per-instance results and timings to PATH"
+    )
+    return parser
+
+
+def _build_certify_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro certify",
+        description="Solve one (0,1)-matrix and emit a machine-checkable "
+        "certificate either way: the realizing order on acceptance, a Tucker "
+        "obstruction witness (family + row/column embedding) on rejection. "
+        "Certificates are re-validated by the independent checker before "
+        "being reported.",
+    )
+    parser.add_argument("matrix", help="path to the matrix file ('-' for stdin)")
+    parser.add_argument(
+        "--columns",
+        action="store_true",
+        help="permute the columns so every row becomes a block of ones (bio convention)",
+    )
+    parser.add_argument(
+        "--circular", action="store_true", help="test the circular-ones property instead"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="Tutte decomposition engine for the combine step",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the certificate record to PATH"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only YES/NO plus the certificate line"
     )
     return parser
 
@@ -147,12 +199,16 @@ def batch_main(argv: Sequence[str]) -> int:
         circular=args.circular,
         processes=args.processes,
         engine=args.engine,
+        certify=args.certify,
     )
     elapsed = time.perf_counter() - start
 
     for path, result in zip(args.matrices, results):
         if result.order is None:
-            print(f"{path}: NO")
+            witness = ""
+            if result.certificate is not None:
+                witness = f"  witness={result.certificate.family}(k={result.certificate.k})"
+            print(f"{path}: NO{witness}")
         else:
             print(f"{path}: YES  {' '.join(str(a) for a in result.order)}")
 
@@ -173,6 +229,7 @@ def batch_main(argv: Sequence[str]) -> int:
             "instances_per_second": rate,
             "processes": args.processes,
             "circular": args.circular,
+            "certify": args.certify,
             "engine": resolve_engine(args.engine),
         }
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -180,11 +237,65 @@ def batch_main(argv: Sequence[str]) -> int:
     return 0 if solved == len(results) else 1
 
 
+def certify_main(argv: Sequence[str]) -> int:
+    """Entry point of ``python -m repro certify``."""
+    args = _build_certify_parser().parse_args(argv)
+    if args.matrix == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.matrix, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    matrix = BinaryMatrix(parse_matrix_text(text))
+    ensemble = matrix.column_ensemble() if args.columns else matrix.row_ensemble()
+    solve = cycle_realization if args.circular else path_realization
+
+    start = time.perf_counter()
+    result = solve(ensemble, engine=args.engine, certify=True)
+    elapsed = time.perf_counter() - start
+
+    # The extractor already self-validates witnesses; re-check here so the
+    # *reported* verdict never depends on solver-side code paths alone.
+    checker_ok = check_ensemble(ensemble, result.certificate)
+    kind = "circular-ones" if args.circular else "consecutive-ones"
+    axis = "column" if args.columns else "row"
+    if result.ok:
+        names = " ".join(str(a) for a in result.order)
+        print(f"YES  {axis} order: {names}" if args.quiet
+              else f"The matrix has the {kind} property.\n{axis} order: {names}")
+    else:
+        witness = result.certificate
+        line = f"NO  witness: {witness.describe(ensemble.column_names)}"
+        if not args.quiet:
+            print(f"The matrix does NOT have the {kind} property.")
+        print(line)
+    if not args.quiet:
+        print(f"independent checker: {'OK' if checker_ok else 'FAILED'}")
+
+    if args.json:
+        payload = dict(
+            result.to_json(),
+            matrix=None if args.matrix == "-" else args.matrix,
+            axis=axis,
+            property=kind,
+            checker_ok=checker_ok,
+            elapsed_seconds=elapsed,
+            engine=resolve_engine(args.engine),
+        )
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+
+    if not checker_ok:  # pragma: no cover - defensive
+        return 2
+    return 0 if result.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "batch":
         return batch_main(list(argv[1:]))
+    if argv and argv[0] == "certify":
+        return certify_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     if args.demo:
         text = _DEMO
@@ -197,10 +308,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     matrix = BinaryMatrix(parse_matrix_text(text))
     ensemble = matrix.column_ensemble() if args.columns else matrix.row_ensemble()
     solve = cycle_realization if args.circular else path_realization
-    order = solve(ensemble, engine=args.engine)
+    if args.certify:
+        result = solve(ensemble, engine=args.engine, certify=True)
+        order = None if result.order is None else list(result.order)
+    else:
+        result = None
+        order = solve(ensemble, engine=args.engine)
 
     if order is None:
         print("NO" if args.quiet else "The matrix does NOT have the requested property.")
+        if result is not None:
+            witness = result.certificate
+            verdict = "OK" if check_ensemble(ensemble, witness) else "FAILED"
+            print(f"witness: {witness.describe(ensemble.column_names)}")
+            if not args.quiet:
+                print(f"independent checker: {verdict}")
         return 1
 
     names = [str(x) for x in order]

@@ -124,10 +124,21 @@ def path_realization(
     *,
     kernel: str = "indexed",
     engine: str | None = None,
+    certify: bool = False,
 ) -> list[Atom] | None:
-    """A consecutive-ones layout of ``ensemble``, or ``None`` if none exists."""
+    """A consecutive-ones layout of ``ensemble``, or ``None`` if none exists.
+
+    With ``certify=True`` the return value is a
+    :class:`~repro.certify.CertifiedResult` instead: the layout plus an
+    ``OrderCertificate`` on acceptance, or ``None`` plus a checkable
+    ``TuckerWitness`` on rejection (see :mod:`repro.certify`).
+    """
     _check_kernel(kernel)
     _resolve_engine(engine)
+    if certify:
+        from ..certify.api import certified_path_realization
+
+        return certified_path_realization(ensemble, stats, kernel=kernel, engine=engine)
     if kernel == "indexed":
         from .indexed import IndexedEnsemble
 
@@ -253,10 +264,20 @@ def cycle_realization(
     *,
     kernel: str = "indexed",
     engine: str | None = None,
+    certify: bool = False,
 ) -> list[Atom] | None:
-    """A circular-ones layout of ``ensemble``, or ``None`` if none exists."""
+    """A circular-ones layout of ``ensemble``, or ``None`` if none exists.
+
+    With ``certify=True`` the return value is a
+    :class:`~repro.certify.CertifiedResult` carrying an ``OrderCertificate``
+    or a pivot-complemented ``TuckerWitness`` (see :mod:`repro.certify`).
+    """
     _check_kernel(kernel)
     _resolve_engine(engine)
+    if certify:
+        from ..certify.api import certified_cycle_realization
+
+        return certified_cycle_realization(ensemble, stats, kernel=kernel, engine=engine)
     if kernel == "indexed":
         from .indexed import IndexedEnsemble
 
@@ -356,9 +377,12 @@ def find_consecutive_ones_order(
     *,
     kernel: str = "indexed",
     engine: str | None = None,
+    certify: bool = False,
 ) -> list[Atom] | None:
     """Alias of :func:`path_realization` (kept for API symmetry)."""
-    return path_realization(ensemble, stats, kernel=kernel, engine=engine)
+    return path_realization(
+        ensemble, stats, kernel=kernel, engine=engine, certify=certify
+    )
 
 
 def find_circular_ones_order(
@@ -367,9 +391,12 @@ def find_circular_ones_order(
     *,
     kernel: str = "indexed",
     engine: str | None = None,
+    certify: bool = False,
 ) -> list[Atom] | None:
     """Alias of :func:`cycle_realization`."""
-    return cycle_realization(ensemble, stats, kernel=kernel, engine=engine)
+    return cycle_realization(
+        ensemble, stats, kernel=kernel, engine=engine, certify=certify
+    )
 
 
 def has_consecutive_ones(

@@ -54,3 +54,28 @@ class PQTreeError(ReproError):
 class PRAMError(ReproError):
     """Raised by the PRAM simulator on invalid programs, e.g. reading an
     uninitialised shared-memory cell in COMMON concurrent-write mode."""
+
+
+class NotC1PError(ReproError):
+    """Raised when an ensemble or matrix lacks the requested ones property.
+
+    Carries the :class:`~repro.certify.TuckerWitness` proving the rejection in
+    the :attr:`witness` attribute, so callers that want exceptions instead of
+    ``None`` returns still receive a checkable proof (see
+    :func:`repro.certify.require_consecutive_ones_order`).
+    """
+
+    def __init__(self, message: str, witness=None) -> None:
+        super().__init__(message)
+        self.witness = witness
+
+
+class CertificationError(ReproError):
+    """Raised when certificate machinery cannot do its job.
+
+    Examples: witness extraction invoked on an instance that *has* the
+    property (there is no obstruction to extract), or the narrowed matrix
+    failing to classify as a Tucker family (an internal invariant violation —
+    by Tucker's theorem every minimal non-C1P matrix is one of the five
+    families, so this indicates a bug rather than a bad input).
+    """

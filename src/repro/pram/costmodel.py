@@ -34,6 +34,8 @@ __all__ = [
     "fussell_tutte_work",
     "sequential_tutte_query_work",
     "sequential_tutte_build_work",
+    "certify_narrowing_tests",
+    "certify_work",
     "paper_depth_bound",
     "paper_processor_bound",
     "paper_processor_bound_dense",
@@ -102,6 +104,50 @@ def sequential_tutte_build_work(n: int, m: int, engine: str = "spqr") -> int:
     the number of members, i.e. ``O(m)``.
     """
     return max(1, m) * sequential_tutte_query_work(n, m, engine)
+
+
+# ---------------------------------------------------------------------- #
+# certification: witness-extraction work (DESIGN.md, Substitution 4)
+# ---------------------------------------------------------------------- #
+def certify_narrowing_tests(length: int, witness: int) -> int:
+    """Narrowing re-solves charged along one axis (rows or atoms).
+
+    The greedy chunked deletion schedule runs ``log2(length)`` chunk levels;
+    at each level every one of the ``witness`` surviving obstruction items
+    can refuse at most one deletion, and committed deletions shrink the list
+    geometrically — so we charge ``(witness + 1)·(log2(length) + 1)`` tests
+    (constants one, matching the conventions of this module).
+    """
+    return max(1, int(math.ceil((witness + 1) * (log2(max(2, length)) + 1))))
+
+
+def certify_work(
+    n: int,
+    m: int,
+    p: int,
+    *,
+    witness_rows: int = 8,
+    witness_atoms: int = 8,
+) -> int:
+    """Sequential work charged for one Tucker-witness extraction.
+
+    ``n``/``m``/``p`` are the rejected instance's atoms/columns/ones.  Each
+    narrowing test re-solves a shrunken instance, charged at the paper's
+    sequential ``O(p log p)`` bound; the test count follows
+    :func:`certify_narrowing_tests` for the row pass (over ``m`` columns)
+    plus the atom pass (over ``n`` atoms).  ``witness_rows``/``witness_atoms``
+    are the expected obstruction size (Tucker families are ``O(k)``-sized;
+    the defaults cover every ``k <= 5`` family).
+
+    This is the number the ``bench_certify_overhead`` gate compares measured
+    certified-rejection overhead against: the charge is a small multiple of
+    one solve, not one solve per row.
+    """
+    tests = certify_narrowing_tests(m, witness_rows) + certify_narrowing_tests(
+        n, witness_atoms
+    )
+    solve = max(1, int(math.ceil(p * log2(p))))
+    return tests * solve
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,530 @@
+"""Tests for the certifying solver layer (:mod:`repro.certify`).
+
+The acceptance bar of the subsystem (ISSUE 3): every rejected instance in
+the Tucker corpus yields a witness the *independent* checker verifies as a
+Tucker submatrix of the input, on every kernel × engine combination; every
+accepted instance yields an order certificate that replays under
+``BinaryMatrix.verify_row_order`` / ``verify_column_order``; and the
+certificates survive JSON round-trips, batch fan-out, the CLI, and the
+physical-mapping application.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import (
+    BinaryMatrix,
+    CertificationError,
+    Ensemble,
+    NotC1PError,
+    certified_cycle_realization,
+    certified_path_realization,
+    extract_tucker_witness,
+    require_circular_ones_order,
+    require_consecutive_ones_order,
+    solve_many,
+)
+from repro.bruteforce import brute_force_has_c1p
+from repro.certify import (
+    CertifiedResult,
+    ExtractionStats,
+    OrderCertificate,
+    TuckerWitness,
+    canonical_rows,
+    certificate_from_json,
+    check,
+    check_ensemble,
+    violation,
+    violation_ensemble,
+)
+from repro.certify.checker import _family_rows as checker_family_rows
+from repro.cli import main
+from repro.core import ENGINES, KERNELS, cycle_realization, path_realization
+from repro.generators import non_c1p_ensemble, random_c1p_ensemble, shuffle_ensemble
+
+from corpus_tucker import tucker_cases, tucker_ensemble, tucker_rows
+
+GRID = [(kernel, engine) for kernel in KERNELS for engine in ENGINES]
+CORPUS_GRID = [
+    (family, k, kernel, engine)
+    for family, k in tucker_cases(max_k=4)
+    for kernel, engine in GRID
+]
+
+
+def _grid_id(case) -> str:
+    family, k, kernel, engine = case
+    return f"{family}({k})-{kernel}-{engine}"
+
+
+# ---------------------------------------------------------------------- #
+# acceptance certificates
+# ---------------------------------------------------------------------- #
+class TestOrderCertificates:
+    def test_row_order_replays_under_binary_matrix(self, rng):
+        instance = random_c1p_ensemble(12, 9, rng).ensemble
+        matrix = BinaryMatrix.from_ensemble(instance)
+        result = path_realization(matrix.row_ensemble(), certify=True)
+        assert isinstance(result, CertifiedResult) and result.ok
+        assert isinstance(result.certificate, OrderCertificate)
+        assert matrix.verify_row_order(result.order)
+        assert check_ensemble(matrix.row_ensemble(), result.certificate)
+
+    def test_column_order_replays_under_binary_matrix(self):
+        # bio convention: permute matrix columns so rows become blocks
+        matrix = BinaryMatrix([[1, 1, 0, 0], [0, 1, 1, 0], [0, 0, 1, 1]])
+        result = path_realization(matrix.column_ensemble(), certify=True)
+        assert result.ok
+        assert matrix.verify_column_order(result.order)
+
+    @pytest.mark.parametrize("kernel,engine", GRID, ids=[f"{k}-{e}" for k, e in GRID])
+    def test_kernel_engine_grid_produces_order_certificates(self, rng, kernel, engine):
+        instance = random_c1p_ensemble(14, 10, rng).ensemble
+        result = path_realization(instance, certify=True, kernel=kernel, engine=engine)
+        assert result.ok and result.kind == "consecutive"
+        assert check_ensemble(instance, result.certificate)
+
+    def test_circular_acceptance(self, rng):
+        triangle = tucker_ensemble("M_I", 2)  # a cycle: circular yes, linear no
+        result = cycle_realization(triangle, certify=True)
+        assert result.ok and result.kind == "circular"
+        assert check_ensemble(triangle, result.certificate)
+
+    def test_tampered_order_is_rejected_by_checker(self, rng):
+        instance = random_c1p_ensemble(8, 6, rng, min_len=3).ensemble
+        result = certified_path_realization(instance)
+        order = list(result.order)
+        # a reversed valid order stays valid; some adjacent swap must break it
+        found_invalid = False
+        for i in range(len(order) - 1):
+            swapped = list(order)
+            swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+            cert = OrderCertificate("consecutive", tuple(swapped))
+            if violation(instance.atoms, instance.columns, cert) is not None:
+                found_invalid = True
+                break
+        assert found_invalid, "no single swap broke the layout (degenerate instance)"
+        not_perm = OrderCertificate("consecutive", tuple(order[:-1]))
+        assert violation(instance.atoms, instance.columns, not_perm) is not None
+        reversed_ok = OrderCertificate("consecutive", tuple(reversed(order)))
+        assert check(instance.atoms, instance.columns, reversed_ok)
+
+
+# ---------------------------------------------------------------------- #
+# corpus sweep: every family, every kernel, every engine
+# ---------------------------------------------------------------------- #
+class TestTuckerCorpusWitnesses:
+    @pytest.mark.parametrize(
+        "family,k,kernel,engine", CORPUS_GRID, ids=map(_grid_id, CORPUS_GRID)
+    )
+    def test_corpus_rejection_yields_checkable_witness(self, family, k, kernel, engine):
+        instance = tucker_ensemble(family, k)
+        result = path_realization(instance, certify=True, kernel=kernel, engine=engine)
+        assert not result.ok
+        witness = result.certificate
+        assert isinstance(witness, TuckerWitness)
+        assert violation_ensemble(instance, witness) is None
+        # the corpus members are themselves minimal, so extraction must
+        # recover exactly the planted family at the planted parameter
+        assert (witness.family, witness.k) == (family, k)
+        assert sorted(witness.row_indices) == list(range(instance.num_columns))
+
+    @pytest.mark.parametrize(
+        "family,k,kernel,engine",
+        [
+            (family, k, kernel, engine)
+            for family, k in (("M_III", 1), ("M_III", 2), ("M_IV", 1))
+            for kernel, engine in GRID
+        ],
+        ids=map(_grid_id, [
+            (family, k, kernel, engine)
+            for family, k in (("M_III", 1), ("M_III", 2), ("M_IV", 1))
+            for kernel, engine in GRID
+        ]),
+    )
+    def test_circular_rejection_yields_pivot_witness(self, family, k, kernel, engine):
+        # M_III and M_IV lack even the circular-ones property
+        instance = tucker_ensemble(family, k)
+        result = cycle_realization(instance, certify=True, kernel=kernel, engine=engine)
+        assert not result.ok and result.kind == "circular"
+        witness = result.certificate
+        assert witness.pivot is not None
+        assert check_ensemble(instance, witness)
+
+
+# ---------------------------------------------------------------------- #
+# extraction behaviour
+# ---------------------------------------------------------------------- #
+class TestWitnessExtraction:
+    def test_planted_obstruction_is_recovered(self, rng):
+        for core, family in (("m1", "M_I"), ("m3", "M_III"), ("m5", "M_V")):
+            instance = non_c1p_ensemble(18, 12, rng, core=core, core_k=2).ensemble
+            instance = shuffle_ensemble(instance, rng)
+            stats = ExtractionStats()
+            witness = extract_tucker_witness(instance, stats=stats)
+            assert check_ensemble(instance, witness)
+            assert witness.family == family
+            assert stats.solve_calls > 0
+            assert stats.witness_rows == witness.num_rows
+
+    def test_witness_is_row_minimal(self, rng):
+        instance = non_c1p_ensemble(14, 10, rng, core="m2", core_k=1).ensemble
+        witness = extract_tucker_witness(instance)
+        atoms = witness.atom_order
+        kept = set(atoms)
+        rows = [frozenset(instance.columns[i] & kept) for i in witness.row_indices]
+        assert not brute_force_has_c1p(Ensemble(atoms, tuple(rows)))
+        for j in range(len(rows)):
+            reduced = tuple(rows[:j] + rows[j + 1 :])
+            assert brute_force_has_c1p(Ensemble(atoms, reduced))
+
+    def test_extraction_on_realizable_instance_raises(self, rng):
+        good = random_c1p_ensemble(10, 6, rng).ensemble
+        with pytest.raises(CertificationError, match="no Tucker witness"):
+            extract_tucker_witness(good)
+        circ = tucker_ensemble("M_I", 2)  # circular-ones realizable
+        with pytest.raises(CertificationError, match="circular-ones"):
+            extract_tucker_witness(circ, circular=True)
+
+    def test_duplicate_and_trivial_columns_are_handled(self):
+        base = tucker_ensemble("M_I", 1)
+        noisy = Ensemble(
+            base.atoms,
+            base.columns + base.columns + (frozenset({base.atoms[0]}), frozenset()),
+        )
+        witness = extract_tucker_witness(noisy)
+        assert check_ensemble(noisy, witness)
+        assert witness.family == "M_I"
+
+
+# ---------------------------------------------------------------------- #
+# raise-with-proof API
+# ---------------------------------------------------------------------- #
+class TestRequireAndErrors:
+    def test_require_returns_order_on_acceptance(self, rng):
+        good = random_c1p_ensemble(10, 7, rng).ensemble
+        order = require_consecutive_ones_order(good)
+        assert sorted(order) == sorted(good.atoms)
+
+    def test_require_raises_with_witness(self):
+        bad = tucker_ensemble("M_IV")
+        with pytest.raises(NotC1PError) as excinfo:
+            require_consecutive_ones_order(bad)
+        witness = excinfo.value.witness
+        assert isinstance(witness, TuckerWitness)
+        assert check_ensemble(bad, witness)
+        assert "M_IV" in str(excinfo.value)
+
+    def test_require_circular_raises_with_pivot_witness(self):
+        bad = tucker_ensemble("M_III", 2)
+        with pytest.raises(NotC1PError) as excinfo:
+            require_circular_ones_order(bad)
+        assert excinfo.value.witness.pivot is not None
+        assert check_ensemble(bad, excinfo.value.witness)
+
+    def test_certified_result_raise_if_rejected_passthrough(self, rng):
+        good = random_c1p_ensemble(8, 5, rng).ensemble
+        result = certified_path_realization(good)
+        assert result.raise_if_rejected() is result
+
+
+# ---------------------------------------------------------------------- #
+# the checker rejects tampered certificates
+# ---------------------------------------------------------------------- #
+class TestCheckerRejectsTampering:
+    def _witness(self) -> tuple[Ensemble, TuckerWitness]:
+        instance = tucker_ensemble("M_II", 2)
+        witness = extract_tucker_witness(instance)
+        return instance, witness
+
+    def test_valid_witness_passes(self):
+        instance, witness = self._witness()
+        assert violation_ensemble(instance, witness) is None
+
+    def test_wrong_family_rejected(self):
+        # M_II(2) is 5x5, the same shape as M_I(3) — relabelling the family
+        # keeps the witness well-formed but the submatrix no longer matches
+        instance, witness = self._witness()
+        fake = TuckerWitness("M_I", 3, witness.row_indices, witness.atom_order)
+        assert violation_ensemble(instance, fake) is not None
+
+    def test_permuted_rows_rejected(self):
+        instance, witness = self._witness()
+        rows = list(witness.row_indices)
+        rows[0], rows[-1] = rows[-1], rows[0]
+        fake = TuckerWitness(witness.family, witness.k, tuple(rows), witness.atom_order)
+        assert violation_ensemble(instance, fake) is not None
+
+    def test_out_of_range_row_rejected(self):
+        instance, witness = self._witness()
+        rows = (99,) + witness.row_indices[1:]
+        fake = TuckerWitness(witness.family, witness.k, rows, witness.atom_order)
+        assert "out of range" in violation_ensemble(instance, fake)
+
+    def test_duplicate_rows_rejected(self):
+        instance, witness = self._witness()
+        rows = (witness.row_indices[0],) + witness.row_indices[:-1]
+        fake = TuckerWitness(witness.family, witness.k, rows, witness.atom_order)
+        assert "not distinct" in violation_ensemble(instance, fake)
+
+    def test_foreign_atoms_rejected(self):
+        instance, witness = self._witness()
+        atoms = ("bogus",) + witness.atom_order[1:]
+        fake = TuckerWitness(witness.family, witness.k, witness.row_indices, atoms)
+        assert "outside the universe" in violation_ensemble(instance, fake)
+
+    def test_witness_shape_validated_at_construction(self):
+        with pytest.raises(CertificationError, match="shape"):
+            TuckerWitness("M_IV", 1, (0, 1, 2), (0, 1, 2, 3, 4, 5))
+
+    def test_unknown_certificate_type_reported(self):
+        instance, _ = self._witness()
+        assert "unknown certificate" in violation(
+            instance.atoms, instance.columns, object()
+        )
+
+    @pytest.mark.parametrize("family,k", tucker_cases(max_k=5))
+    def test_checker_family_forms_match_corpus_and_certificates(self, family, k):
+        """The three independent derivations of the family forms agree."""
+        n_corpus, rows_corpus = tucker_rows(family, k)
+        n_cert, rows_cert = canonical_rows(family, k)
+        n_check, rows_check = checker_family_rows(family, k)
+        assert n_corpus == n_cert == n_check
+        assert list(rows_corpus) == list(rows_cert) == list(rows_check)
+
+
+# ---------------------------------------------------------------------- #
+# JSON round-trips
+# ---------------------------------------------------------------------- #
+class TestJsonRoundTrip:
+    def test_witness_round_trip(self):
+        instance = tucker_ensemble("M_V")
+        witness = extract_tucker_witness(instance)
+        payload = json.loads(json.dumps(witness.to_json()))
+        rebuilt = certificate_from_json(payload)
+        assert rebuilt == witness
+        assert check_ensemble(instance, rebuilt)
+
+    def test_pivot_witness_round_trip(self):
+        instance = tucker_ensemble("M_IV")
+        witness = extract_tucker_witness(instance, circular=True)
+        rebuilt = certificate_from_json(json.loads(json.dumps(witness.to_json())))
+        assert rebuilt == witness and rebuilt.pivot == witness.pivot
+        assert check_ensemble(instance, rebuilt)
+
+    def test_order_certificate_round_trip(self, rng):
+        good = random_c1p_ensemble(8, 5, rng).ensemble
+        result = certified_path_realization(good)
+        rebuilt = certificate_from_json(
+            json.loads(json.dumps(result.certificate.to_json()))
+        )
+        assert rebuilt == result.certificate
+
+    def test_unknown_payload_rejected(self):
+        with pytest.raises(CertificationError):
+            certificate_from_json({"type": "alibi"})
+
+    def test_certified_result_to_json(self):
+        bad = tucker_ensemble("M_I", 1)
+        result = certified_path_realization(bad)
+        payload = result.to_json()
+        assert payload["ok"] is False and payload["order"] is None
+        assert payload["certificate"]["type"] == "tucker"
+
+
+# ---------------------------------------------------------------------- #
+# batch layer
+# ---------------------------------------------------------------------- #
+class TestBatchCertify:
+    def _fleet(self, rng):
+        fleet = [random_c1p_ensemble(12, 8, rng).ensemble for _ in range(2)]
+        fleet.append(non_c1p_ensemble(12, 9, rng, core="m2").ensemble)
+        fleet.append(non_c1p_ensemble(10, 7, rng, core="m4").ensemble)
+        return fleet
+
+    def test_status_populated_without_certify(self, rng):
+        results = solve_many(self._fleet(rng))
+        assert [r.status for r in results] == [
+            "realized", "realized", "rejected", "rejected",
+        ]
+        assert all(r.certificate is None for r in results)
+
+    def test_certificates_attached_and_checkable(self, rng):
+        fleet = self._fleet(rng)
+        results = solve_many(fleet, certify=True)
+        for instance, result in zip(fleet, results):
+            assert result.certificate is not None
+            assert check_ensemble(instance, result.certificate)
+            if result.ok:
+                assert isinstance(result.certificate, OrderCertificate)
+            else:
+                assert isinstance(result.certificate, TuckerWitness)
+
+    def test_pooled_certification_matches_serial(self, rng):
+        fleet = self._fleet(rng)
+        serial = solve_many(fleet, certify=True)
+        pooled = solve_many(fleet, certify=True, processes=2)
+        assert [r.status for r in serial] == [r.status for r in pooled]
+        for instance, result in zip(fleet, pooled):
+            assert check_ensemble(instance, result.certificate)
+
+    def test_witness_indices_refer_to_input_columns(self, rng):
+        # component splitting must not garble witness row indices
+        bad = non_c1p_ensemble(16, 10, rng, core="m1", core_k=2).ensemble
+        (result,) = solve_many([bad], certify=True)
+        assert not result.ok
+        assert check_ensemble(bad, result.certificate)
+
+    def test_circular_batch_certificates(self, rng):
+        fleet = [tucker_ensemble("M_I", 2), tucker_ensemble("M_IV")]
+        results = solve_many(fleet, circular=True, certify=True)
+        assert [r.status for r in results] == ["realized", "rejected"]
+        for instance, result in zip(fleet, results):
+            assert check_ensemble(instance, result.certificate)
+            assert result.certificate.kind == "circular"
+
+    def test_summary_serializes_certificates(self, rng):
+        fleet = self._fleet(rng)
+        results = solve_many(fleet, certify=True)
+        payload = json.dumps([r.summary() for r in results], default=str)
+        decoded = json.loads(payload)
+        assert decoded[2]["status"] == "rejected"
+        assert decoded[2]["certificate"]["type"] == "tucker"
+        assert decoded[0]["certificate"]["type"] == "order"
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+class TestCLICertify:
+    BAD = "1 1 0\n0 1 1\n1 0 1\n"
+    GOOD = "1 1 0\n0 1 1\n"
+
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_certify_subcommand_rejection(self, tmp_path, capsys):
+        path = self._write(tmp_path, "bad.txt", self.BAD)
+        record = tmp_path / "cert.json"
+        assert main(["certify", path, "--columns", "--json", str(record)]) == 1
+        out = capsys.readouterr().out
+        assert "witness" in out and "M_I" in out
+        assert "independent checker: OK" in out
+        payload = json.loads(record.read_text())
+        assert payload["ok"] is False and payload["checker_ok"] is True
+        assert payload["certificate"]["family"] == "M_I"
+
+    def test_certify_subcommand_acceptance(self, tmp_path, capsys):
+        path = self._write(tmp_path, "good.txt", self.GOOD)
+        record = tmp_path / "cert.json"
+        assert main(["certify", path, "--json", str(record)]) == 0
+        payload = json.loads(record.read_text())
+        assert payload["ok"] is True
+        assert payload["certificate"]["type"] == "order"
+
+    def test_certify_json_witness_is_independently_checkable(self, tmp_path, capsys):
+        path = self._write(tmp_path, "bad.txt", self.BAD)
+        record = tmp_path / "cert.json"
+        main(["certify", path, "--columns", "--json", str(record)])
+        capsys.readouterr()
+        payload = json.loads(record.read_text())
+        from repro.cli import parse_matrix_text
+
+        matrix = BinaryMatrix(parse_matrix_text(self.BAD))
+        witness = certificate_from_json(payload["certificate"])
+        assert check_ensemble(matrix.column_ensemble(), witness)
+
+    def test_solve_certify_flag(self, tmp_path, capsys):
+        path = self._write(tmp_path, "bad.txt", self.BAD)
+        assert main([path, "--columns", "--certify"]) == 1
+        out = capsys.readouterr().out
+        assert "witness: M_I" in out
+
+    def test_batch_certify_flag(self, tmp_path, capsys):
+        good = self._write(tmp_path, "good.txt", self.GOOD)
+        bad = self._write(tmp_path, "bad.txt", self.BAD)
+        record = tmp_path / "batch.json"
+        assert main(
+            ["batch", good, bad, "--columns", "--certify", "--json", str(record)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "witness=M_I(k=1)" in out
+        payload = json.loads(record.read_text())
+        assert payload["certify"] is True
+        statuses = [inst["status"] for inst in payload["instances"]]
+        assert statuses == ["realized", "rejected"]
+        assert payload["instances"][1]["certificate"]["family"] == "M_I"
+
+    def test_circular_certify(self, tmp_path, capsys):
+        # M_IV as a matrix (rows over 6 columns): not even circular-ones
+        text = "1 1 0 0 0 0\n0 0 1 1 0 0\n0 0 0 0 1 1\n1 0 1 0 1 0\n"
+        path = self._write(tmp_path, "m4.txt", text)
+        assert main(["certify", path, "--columns", "--circular"]) == 1
+        out = capsys.readouterr().out
+        assert "pivot=" in out and "independent checker: OK" in out
+
+
+# ---------------------------------------------------------------------- #
+# physical mapping application
+# ---------------------------------------------------------------------- #
+class TestPhysmapConflicts:
+    def _noisy_library(self):
+        from repro.apps.physmap import generate_clone_library, inject_errors
+
+        rng = random.Random(5)
+        library = generate_clone_library(30, 40, rng)
+        return inject_errors(
+            library, rng, false_positive_rate=0.02, chimerism_rate=0.1
+        )
+
+    def test_rejected_map_names_conflict_set(self):
+        from repro.apps.physmap import assemble_physical_map
+
+        noisy = self._noisy_library()
+        result = assemble_physical_map(noisy)
+        assert not result.consistent
+        assert result.witness is not None
+        assert result.conflict_clones and result.conflict_probes
+        assert check_ensemble(noisy.ensemble(), result.witness)
+        names = set(noisy.ensemble().column_names)
+        assert set(result.conflict_clones) <= names
+
+    def test_certify_false_skips_extraction(self):
+        from repro.apps.physmap import assemble_physical_map
+
+        result = assemble_physical_map(self._noisy_library(), certify=False)
+        assert not result.consistent
+        assert result.witness is None
+        assert result.conflict_clones == () and result.conflict_probes == ()
+
+    def test_consistent_map_has_no_witness(self):
+        from repro.apps.physmap import assemble_physical_map, generate_clone_library
+
+        library = generate_clone_library(20, 25, random.Random(1))
+        result = assemble_physical_map(library)
+        assert result.consistent and result.witness is None
+
+
+# ---------------------------------------------------------------------- #
+# PRAM cost accounting
+# ---------------------------------------------------------------------- #
+class TestCertifyCostModel:
+    def test_certify_work_positive_and_monotone(self):
+        from repro.pram.costmodel import certify_narrowing_tests, certify_work
+
+        assert certify_work(10, 10, 30) >= 1
+        assert certify_work(400, 200, 3000) > certify_work(100, 50, 500)
+        assert certify_narrowing_tests(1024, 8) < 1024  # sublinear in the axis
+
+    def test_certify_work_is_a_small_multiple_of_one_solve(self):
+        from repro.pram.costmodel import certify_work, log2
+
+        n, m, p = 200, 120, 1500
+        one_solve = p * log2(p)
+        assert certify_work(n, m, p) < 200 * one_solve

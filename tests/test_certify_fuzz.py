@@ -1,0 +1,150 @@
+"""Hypothesis sweep: witness extraction on planted-obstruction matrices.
+
+Each example embeds a Tucker family (on a dedicated atom set) in random C1P
+padding, shuffles labels and column order, and asserts that the extracted
+witness
+
+* passes the fully independent checker,
+* recovers exactly the planted family (the padding lives on disjoint atoms,
+  so the only minimal non-C1P submatrix is the planted core), and
+* is row-minimal per the brute-force oracle on small instances (deleting
+  any single witness row leaves a C1P submatrix).
+
+The kernel × engine grid is swept inside the strategy so one fixed-seed run
+(``HYPOTHESIS_PROFILE=certify-ci``, mirroring the spqr-differential job)
+covers every solver configuration.  Positive instances and the circular
+pivot-complementation reduction are fuzzed alongside.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Ensemble, extract_tucker_witness
+from repro.bruteforce import brute_force_has_c1p
+from repro.certify import check_ensemble, violation_ensemble
+from repro.core import ENGINES, KERNELS, cycle_realization, path_realization
+from repro.generators import (
+    non_c1p_ensemble,
+    random_c1p_ensemble,
+    random_circular_ensemble,
+    shuffle_ensemble,
+)
+
+GRID = st.sampled_from([(k, e) for k in KERNELS for e in ENGINES])
+
+_CORE_FAMILY = {"m1": "M_I", "m2": "M_II", "m3": "M_III", "m4": "M_IV", "m5": "M_V"}
+
+planted = st.fixed_dictionaries(
+    {
+        "core": st.sampled_from(sorted(_CORE_FAMILY)),
+        "core_k": st.integers(min_value=1, max_value=3),
+        "num_atoms": st.integers(min_value=6, max_value=16),
+        "num_columns": st.integers(min_value=4, max_value=12),
+        "seed": st.integers(min_value=0, max_value=2**20),
+    }
+)
+
+
+def _planted_instance(params) -> tuple[Ensemble, str, int]:
+    rng = random.Random(params["seed"])
+    generated = non_c1p_ensemble(
+        params["num_atoms"],
+        params["num_columns"],
+        rng,
+        core=params["core"],
+        core_k=params["core_k"],
+    )
+    instance = shuffle_ensemble(generated.ensemble, rng)
+    family = _CORE_FAMILY[params["core"]]
+    k = params["core_k"] if params["core"] in ("m1", "m2", "m3") else 1
+    return instance, family, k
+
+
+@given(params=planted, grid=GRID)
+def test_planted_obstruction_witness(params, grid):
+    kernel, engine = grid
+    instance, family, k = _planted_instance(params)
+    result = path_realization(instance, certify=True, kernel=kernel, engine=engine)
+    assert not result.ok
+    witness = result.certificate
+    assert violation_ensemble(instance, witness) is None
+    # padding is atom-disjoint from the core, so the witness is the core
+    assert (witness.family, witness.k) == (family, k)
+
+    # row minimality, certified against the exhaustive oracle
+    if witness.num_rows <= 8 and witness.num_atoms <= 9:
+        kept = set(witness.atom_order)
+        rows = [
+            frozenset(instance.columns[i] & kept) for i in witness.row_indices
+        ]
+        assert not brute_force_has_c1p(Ensemble(witness.atom_order, tuple(rows)))
+        for j in range(len(rows)):
+            reduced = tuple(rows[:j] + rows[j + 1 :])
+            assert brute_force_has_c1p(Ensemble(witness.atom_order, reduced))
+
+
+@given(params=planted, grid=GRID, pivot_seed=st.integers(0, 2**16))
+def test_circular_witness_via_pivot_complementation(params, grid, pivot_seed):
+    """Complementing a random column subset w.r.t. a universe extended by a
+    fresh atom turns a planted non-C1P instance into a non-circular-ones
+    instance; extraction must certify the rejection from any pivot."""
+    kernel, engine = grid
+    base, _, _ = _planted_instance(params)
+    fresh = "__q__"
+    universe = base.atoms + (fresh,)
+    full = set(universe)
+    rng = random.Random(pivot_seed)
+    columns = tuple(
+        frozenset(full - col) if rng.random() < 0.5 else col for col in base.columns
+    )
+    instance = Ensemble(universe, columns)
+    result = cycle_realization(instance, certify=True, kernel=kernel, engine=engine)
+    assert not result.ok
+    witness = result.certificate
+    assert witness.kind == "circular" and witness.pivot is not None
+    assert check_ensemble(instance, witness)
+
+
+@given(
+    num_atoms=st.integers(min_value=2, max_value=14),
+    num_columns=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**20),
+    grid=GRID,
+    circular=st.booleans(),
+)
+def test_positive_instances_get_order_certificates(
+    num_atoms, num_columns, seed, grid, circular
+):
+    kernel, engine = grid
+    rng = random.Random(seed)
+    if circular:
+        instance = random_circular_ensemble(num_atoms, num_columns, rng).ensemble
+        result = cycle_realization(instance, certify=True, kernel=kernel, engine=engine)
+    else:
+        instance = random_c1p_ensemble(num_atoms, num_columns, rng).ensemble
+        result = path_realization(instance, certify=True, kernel=kernel, engine=engine)
+    assert result.ok
+    assert result.certificate.kind == ("circular" if circular else "consecutive")
+    assert violation_ensemble(instance, result.certificate) is None
+
+
+@settings(max_examples=25)
+@given(params=planted)
+def test_extraction_solve_budget_is_logarithmic(params):
+    """The narrowing schedule must stay in the chunked regime: the number of
+    re-solves may not degenerate to one per row/atom (the certify_work cost
+    model and the bench_certify_overhead gate both rely on this)."""
+    from repro.certify import ExtractionStats
+
+    instance, _, _ = _planted_instance(params)
+    stats = ExtractionStats()
+    extract_tucker_witness(instance, stats=stats)
+    m, n = instance.num_columns, instance.num_atoms
+    budget = 6 * (stats.witness_rows + stats.witness_atoms + 2) * (
+        max(m, n).bit_length() + 1
+    )
+    assert stats.solve_calls <= budget, (stats.solve_calls, budget, m, n)
