@@ -31,6 +31,16 @@ instances and independent connected components out over a process pool:
 >>> results[0].ok
 True
 
+For *long-lived* streams of instances, :class:`ServePool`
+(:mod:`repro.serve`) keeps worker processes warm and ships each task as a
+packed bitmask payload through ``multiprocessing.shared_memory`` instead of
+pickling ensembles — same results, certificates included:
+
+>>> with ServePool(2) as pool:                  # doctest: +SKIP
+...     results = pool.solve_many([m.row_ensemble()])
+...     for result in pool.solve_stream(stream_of_ensembles):
+...         ...                                 # completion order
+
 Orthogonally, ``engine="spqr"`` (the default) or ``engine="splitpair"``
 selects the Tutte decomposition engine used by the combine step: the
 near-linear Hopcroft–Tarjan-style palm-tree engine (:mod:`repro.graph.spqr`)
@@ -84,6 +94,7 @@ from .certify import (
     require_circular_ones_order,
     require_consecutive_ones_order,
 )
+from .serve import ServePool
 from .errors import (
     AlignmentError,
     CertificationError,
@@ -95,6 +106,8 @@ from .errors import (
     PQTreeError,
     PRAMError,
     ReproError,
+    ServeError,
+    WireFormatError,
 )
 
 __version__ = "1.0.0"
@@ -105,6 +118,7 @@ __all__ = [
     "IndexedEnsemble",
     "BatchResult",
     "solve_many",
+    "ServePool",
     "KERNELS",
     "ENGINES",
     "SolverStats",
@@ -129,6 +143,8 @@ __all__ = [
     "ReproError",
     "InvalidEnsembleError",
     "NotC1PError",
+    "ServeError",
+    "WireFormatError",
     "CertificationError",
     "GraphError",
     "NotTwoConnectedError",

@@ -16,10 +16,23 @@ both axes of independence:
 Every task runs the integer-indexed kernel by default (see
 :mod:`repro.core.indexed`); pass ``kernel="reference"`` to fan out the
 label-level reference solver instead.  Atom labels must be picklable when a
-pool is used (plain ints/strings always are).
+pool is used (plain ints/strings always are).  With ``certify=True`` one
+executor serves both the solve fan-out and the witness extractions for
+rejected instances — a second pool is never spun up.
 
-The CLI front end is ``python -m repro batch`` (see :mod:`repro.cli`), and
-``benchmarks/bench_batch_throughput.py`` measures instances/sec.
+For *long-lived* streams of instances, the one-shot executor here is the
+wrong shape: it cold-starts per call and pickles whole label-level
+sub-ensembles per task.  Pass ``pool=`` a warm
+:class:`repro.serve.ServePool` to route the same call — identical results,
+certificates included — through persistent workers fed via the packed
+shared-memory wire format of :mod:`repro.serve.wire`, or use the pool's
+``solve_stream`` directly for completion-order streaming (CLI:
+``python -m repro serve``).
+
+The CLI front end is ``python -m repro batch`` (see :mod:`repro.cli`);
+``benchmarks/bench_batch_throughput.py`` measures one-shot instances/sec
+and ``benchmarks/bench_serve_throughput.py`` gates warm shared-memory
+dispatch against it.
 """
 
 from __future__ import annotations
@@ -62,7 +75,19 @@ class BatchResult:
         """True when the instance has the requested property."""
         return self.order is not None
 
-    def summary(self) -> dict[str, object]:
+    def summary(self, *, label_key=None) -> dict[str, object]:
+        """A ``json.dumps``-safe dict rendering of this result.
+
+        Atom labels in ``order`` are passed through when they are JSON
+        native (str/int/float/bool/None) and coerced with ``str`` otherwise
+        — tuple-labelled probes, frozensets, custom objects — so the
+        payload always serializes.  Pass ``label_key`` (a callable) to
+        control the coercion yourself; it is applied to *every* label.
+        Certificate payloads keep their own convention: labels as-is,
+        serialized via ``json.dump(..., default=str)`` (see
+        ``OrderCertificate.to_json``).
+        """
+        key = label_key if label_key is not None else _json_label
         certificate = (
             self.certificate.to_json() if self.certificate is not None else None
         )
@@ -70,12 +95,19 @@ class BatchResult:
             "index": self.index,
             "ok": self.ok,
             "status": self.status,
-            "order": None if self.order is None else list(self.order),
+            "order": None if self.order is None else [key(a) for a in self.order],
             "num_atoms": self.num_atoms,
             "num_columns": self.num_columns,
             "parts": self.parts,
             "certificate": certificate,
         }
+
+
+def _json_label(label):
+    """Default ``summary`` coercion: JSON-native labels as-is, else ``str``."""
+    if label is None or isinstance(label, (str, int, float, bool)):
+        return label
+    return str(label)
 
 
 # ---------------------------------------------------------------------- #
@@ -159,6 +191,7 @@ def solve_many(
     engine: str | None = None,
     split_components: bool = True,
     certify: bool = False,
+    pool=None,
 ) -> list[BatchResult]:
     """Solve every ensemble, optionally fanning work out over processes.
 
@@ -187,13 +220,28 @@ def solve_many(
         Attach a certificate to every result: an ``OrderCertificate`` for
         realized instances and a checkable ``TuckerWitness`` (extracted from
         the *original* instance, so its row indices refer to the input
-        columns) for rejected ones.  Witness extractions for multiple
-        rejected instances are fanned out over the same process pool.
+        columns) for rejected ones.  Witness extractions for rejected
+        instances reuse the *same* executor as the solve fan-out.
+    pool:
+        A warm :class:`repro.serve.ServePool`.  When given, every task —
+        solves and witness extractions alike — is dispatched through the
+        persistent workers over the packed shared-memory wire format
+        instead of a freshly forked executor, and ``processes`` is ignored.
+        Results are identical, in the same order.
 
     Returns
     -------
     One :class:`BatchResult` per input ensemble, in input order.
     """
+    if pool is not None:
+        return pool.solve_many(
+            ensembles,
+            circular=circular,
+            kernel=kernel,
+            engine=engine,
+            split_components=split_components,
+            certify=certify,
+        )
     instances = list(ensembles)
     tasks: list[_Task] = []
     parts_per_instance: list[int] = []
@@ -207,41 +255,47 @@ def solve_many(
         parts_per_instance.append(len(subs))
 
     workers = _resolve_workers(processes, max(1, len(tasks)))
-    if workers <= 1:
-        outcomes = [_solve_task(task) for task in tasks]
-    else:
-        chunksize = max(1, len(tasks) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_solve_task, tasks, chunksize=chunksize))
-
-    # Reassemble: concatenate component layouts in component order; a single
-    # failed component fails its whole instance.
-    orders: dict[int, list[list | None]] = {
-        index: [None] * parts for index, parts in enumerate(parts_per_instance)
-    }
-    for index, part, order in outcomes:
-        orders[index][part] = order
-
-    results: list[BatchResult] = []
-    for index, ensemble in enumerate(instances):
-        pieces = orders[index]
-        if any(piece is None for piece in pieces):
-            combined: list | None = None
+    executor = ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
+    try:
+        if executor is None:
+            outcomes = [_solve_task(task) for task in tasks]
         else:
-            combined = [atom for piece in pieces for atom in piece]
-        results.append(
-            BatchResult(
-                index=index,
-                order=combined,
-                num_atoms=ensemble.num_atoms,
-                num_columns=ensemble.num_columns,
-                parts=parts_per_instance[index],
-                status="realized" if combined is not None else "rejected",
-            )
-        )
+            chunksize = max(1, len(tasks) // (workers * 4))
+            outcomes = list(executor.map(_solve_task, tasks, chunksize=chunksize))
 
-    if certify:
-        _attach_certificates(results, instances, circular, kernel, engine, processes)
+        # Reassemble: concatenate component layouts in component order; a
+        # single failed component fails its whole instance.
+        orders: dict[int, list[list | None]] = {
+            index: [None] * parts for index, parts in enumerate(parts_per_instance)
+        }
+        for index, part, order in outcomes:
+            orders[index][part] = order
+
+        results: list[BatchResult] = []
+        for index, ensemble in enumerate(instances):
+            pieces = orders[index]
+            if any(piece is None for piece in pieces):
+                combined: list | None = None
+            else:
+                combined = [atom for piece in pieces for atom in piece]
+            results.append(
+                BatchResult(
+                    index=index,
+                    order=combined,
+                    num_atoms=ensemble.num_atoms,
+                    num_columns=ensemble.num_columns,
+                    parts=parts_per_instance[index],
+                    status="realized" if combined is not None else "rejected",
+                )
+            )
+
+        if certify:
+            _attach_certificates(
+                results, instances, circular, kernel, engine, executor, workers
+            )
+    finally:
+        if executor is not None:
+            executor.shutdown()
     return results
 
 
@@ -251,14 +305,16 @@ def _attach_certificates(
     circular: bool,
     kernel: str,
     engine: str | None,
-    processes: int | None,
+    executor: ProcessPoolExecutor | None,
+    workers: int,
 ) -> None:
     """Fill ``result.certificate`` in place for every instance.
 
     Realized instances get their layout wrapped as an ``OrderCertificate``
     (cheap, done inline).  Rejected instances need a witness extraction —
-    many narrowing re-solves each — so those are fanned out over a process
-    pool when one was requested.
+    many narrowing re-solves each — so those reuse the solve fan-out's
+    ``executor`` (already warm; no second pool is ever created), chunked
+    like the solve map.
     """
     from .certify.certificates import OrderCertificate
 
@@ -276,11 +332,10 @@ def _attach_certificates(
     if not rejected:
         return
 
-    workers = _resolve_workers(processes, len(rejected))
-    if workers <= 1:
+    if executor is None:
         outcomes = [_certify_task(task) for task in rejected]
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_certify_task, rejected))
+        chunksize = max(1, len(rejected) // (workers * 4))
+        outcomes = list(executor.map(_certify_task, rejected, chunksize=chunksize))
     for index, witness in outcomes:
         results[index].certificate = witness

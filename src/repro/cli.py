@@ -4,10 +4,13 @@ Reads a (0,1)-matrix from a file (CSV of 0/1 entries, ``#`` comments and
 blank lines ignored), tests the consecutive-ones (or circular-ones) property
 and prints a realizing row order plus the permuted matrix.  The ``batch``
 subcommand solves many matrix files at once over a process pool and reports
-throughput; the ``certify`` subcommand solves one matrix and emits a
-machine-checkable certificate either way (the realizing order, or a Tucker
-obstruction witness validated by the independent checker).  ``--certify``
-on the plain and batch modes attaches the same certificates inline.
+throughput; the ``serve`` subcommand reads a stream of instances as JSON
+lines and answers through a persistent shared-memory worker pool
+(:mod:`repro.serve`), one result JSON line per instance; the ``certify``
+subcommand solves one matrix and emits a machine-checkable certificate
+either way (the realizing order, or a Tucker obstruction witness validated
+by the independent checker).  ``--certify`` on the plain, batch and serve
+modes attaches the same certificates inline.
 
 Examples
 --------
@@ -20,6 +23,8 @@ Examples
     python -m repro --demo                     # run on a built-in example
     python -m repro batch a.csv b.csv --processes 0   # batch over all CPUs
     python -m repro certify matrix.csv --json cert.json   # certificate as JSON
+    python -m repro serve instances.jsonl --processes 4   # JSONL in, JSONL out
+    echo '{"id": 7, "matrix": [[1,1,0],[0,1,1]]}' | python -m repro serve -
 """
 
 from __future__ import annotations
@@ -36,7 +41,14 @@ from .core import ENGINES, cycle_realization, path_realization
 from .tutte.decomposition import resolve_engine
 from .matrix import BinaryMatrix
 
-__all__ = ["main", "batch_main", "certify_main", "parse_matrix_text"]
+__all__ = [
+    "main",
+    "batch_main",
+    "certify_main",
+    "serve_main",
+    "parse_matrix_text",
+    "parse_instance_line",
+]
 
 _DEMO = """\
 0 1 1 0 0
@@ -75,9 +87,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Test and realize the consecutive-ones property of a (0,1)-matrix.",
         epilog="Use 'repro batch FILE [FILE ...]' to solve many matrices at once "
-        "over a process pool, or 'repro certify FILE' for a standalone "
-        "certificate report (see their --help). A matrix file literally "
-        "named 'batch' or 'certify' can be solved as './batch'.",
+        "over a process pool, 'repro serve FILE' to stream JSON-line "
+        "instances through a persistent shared-memory worker pool, or "
+        "'repro certify FILE' for a standalone certificate report (see "
+        "their --help). A matrix file literally named 'batch', 'serve' or "
+        "'certify' can be solved as './batch'.",
     )
     parser.add_argument("matrix", nargs="?", help="path to the matrix file ('-' for stdin)")
     parser.add_argument("--demo", action="store_true", help="run on a built-in example matrix")
@@ -179,6 +193,165 @@ def _build_certify_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="print only YES/NO plus the certificate line"
     )
     return parser
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a stream of (0,1)-matrix instances through a "
+        "persistent shared-memory worker pool.  Input is JSON lines: each "
+        "line is either a bare matrix (list of 0/1 rows) or an object "
+        '{"matrix": [[...]], "id": <anything>}; blank lines and #-comments '
+        "are ignored.  One result JSON line is emitted per instance "
+        "(repro.batch.BatchResult.summary() plus the echoed id).",
+    )
+    parser.add_argument(
+        "input", help="path to a JSON-lines instance file ('-' for stdin)"
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes kept warm (0 = one per CPU; default: 0)",
+    )
+    parser.add_argument(
+        "--columns",
+        action="store_true",
+        help="permute the columns so every row becomes a block of ones (bio convention)",
+    )
+    parser.add_argument(
+        "--circular", action="store_true", help="test the circular-ones property instead"
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("indexed", "reference"),
+        default="indexed",
+        help="solver kernel per task (default: indexed)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="Tutte decomposition engine for the combine step "
+        "(default: spqr, the near-linear palm-tree engine)",
+    )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="attach certificates to every result: the realizing order on "
+        "acceptance, a Tucker obstruction witness on rejection",
+    )
+    parser.add_argument(
+        "--unordered",
+        action="store_true",
+        help="emit results in completion order (lowest latency) instead of "
+        "input order; every line carries its instance index either way",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="backpressure window: maximum simultaneously in-flight tasks "
+        "(= live shared-memory segments; default: 4x workers)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the closing stats line (stderr)"
+    )
+    return parser
+
+
+def parse_instance_line(line: str, lineno: int) -> tuple[object, list[list[int]]]:
+    """Decode one serve-mode JSON line into ``(id, matrix_rows)``.
+
+    Accepts a bare matrix (JSON list of 0/1 rows) or an object with a
+    ``"matrix"`` key and an optional ``"id"``.  Structural problems raise
+    ``SystemExit`` naming the line, exactly like :func:`parse_matrix_text`.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"line {lineno}: not valid JSON ({exc})") from exc
+    instance_id: object = None
+    if isinstance(payload, dict):
+        if "matrix" not in payload:
+            raise SystemExit(f"line {lineno}: instance object lacks a 'matrix' key")
+        instance_id = payload.get("id")
+        rows = payload["matrix"]
+    else:
+        rows = payload
+    if not isinstance(rows, list) or not rows or not all(
+        isinstance(r, list) and r for r in rows
+    ):
+        raise SystemExit(f"line {lineno}: matrix must be a non-empty list of rows")
+    width = len(rows[0])
+    for r in rows:
+        if len(r) != width:
+            raise SystemExit(f"line {lineno}: all rows must have the same length")
+        if any(x not in (0, 1) for x in r):
+            raise SystemExit(f"line {lineno}: entries must be 0 or 1")
+    return instance_id, rows
+
+
+def serve_main(argv: Sequence[str]) -> int:
+    """Entry point of ``python -m repro serve``."""
+    from .serve import ServePool
+
+    parser = _build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.processes < 0:
+        parser.error(f"--processes must be >= 0, got {args.processes}")
+
+    handle = (
+        sys.stdin
+        if args.input == "-"
+        else open(args.input, "r", encoding="utf-8")
+    )
+    # Instances are parsed lazily, line by line, and fed straight into the
+    # pool's feeder thread: results start flowing before the producer has
+    # closed the stream, bounded by the pool's in-flight window.
+    ids: list[object] = []
+
+    def _instances():
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            instance_id, rows = parse_instance_line(line, lineno)
+            matrix = BinaryMatrix(rows)
+            ids.append(instance_id)
+            yield matrix.column_ensemble() if args.columns else matrix.row_ensemble()
+
+    start = time.perf_counter()
+    solved = 0
+    try:
+        with ServePool(args.processes, max_inflight=args.max_inflight) as pool:
+            stream = pool.solve_stream(
+                _instances(),
+                circular=args.circular,
+                kernel=args.kernel,
+                engine=args.engine,
+                certify=args.certify,
+                ordered=not args.unordered,
+            )
+            for result in stream:
+                solved += result.ok
+                record = dict(result.summary(), id=ids[result.index])
+                print(json.dumps(record, default=str), flush=True)
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    elapsed = time.perf_counter() - start
+
+    if not args.quiet:
+        rate = len(ids) / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"{len(ids)} instances in {elapsed:.3f}s "
+            f"({rate:.1f} instances/sec, {solved} with the property)",
+            file=sys.stderr,
+        )
+    return 0 if solved == len(ids) else 1
 
 
 def batch_main(argv: Sequence[str]) -> int:
@@ -296,6 +469,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return batch_main(list(argv[1:]))
     if argv and argv[0] == "certify":
         return certify_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        return serve_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     if args.demo:
         text = _DEMO

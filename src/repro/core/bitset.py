@@ -25,6 +25,8 @@ __all__ = [
     "SORTED_FALLBACK_WIDTH",
     "mask_from_indices",
     "mask_to_indices",
+    "mask_to_bytes",
+    "mask_from_bytes",
     "all_consecutive",
     "all_circular_consecutive",
     "is_permutation_of",
@@ -65,6 +67,24 @@ def mask_to_indices(mask: int) -> list[int]:
             out.append(base + low.bit_length() - 1)
             byte ^= low
     return out
+
+
+def mask_to_bytes(mask: int, num_bytes: int) -> bytes:
+    """The little-endian fixed-width byte export of a column mask.
+
+    This is the on-the-wire representation used by :mod:`repro.serve.wire`:
+    byte ``k`` carries atom indices ``8k .. 8k+7``, so a reader can recover
+    the mask with :func:`mask_from_bytes` (or ``int.from_bytes``) without
+    knowing anything about the producing process.
+    """
+    if mask < 0:
+        raise ValueError("column masks must be non-negative")
+    return mask.to_bytes(num_bytes, "little")
+
+
+def mask_from_bytes(data: bytes) -> int:
+    """The column mask encoded by a little-endian byte string."""
+    return int.from_bytes(data, "little")
 
 
 def is_permutation_of(order: Sequence[int], universe: int) -> bool:

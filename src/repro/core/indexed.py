@@ -113,6 +113,41 @@ class IndexedEnsemble:
         )
         return Ensemble(self.atoms, cols, self.column_names)
 
+    def pack_masks(
+        self, *, with_labels: bool = True, with_names: bool = False
+    ) -> bytes:
+        """The shared-memory wire payload of this ensemble.
+
+        The payload (see :mod:`repro.serve.wire`) holds the atom count, the
+        column bitmasks as contiguous little-endian bytes and — unless
+        ``with_labels`` is false — the interned label table; column display
+        names ride along only on request.  ``from_packed_masks`` inverts it.
+        """
+        from ..serve.wire import pack_ensemble
+
+        return pack_ensemble(
+            self.atoms,
+            self.masks,
+            self.column_names if with_names else None,
+            with_labels=with_labels,
+        )
+
+    @classmethod
+    def from_packed_masks(
+        cls, buffer: bytes | bytearray | memoryview
+    ) -> "IndexedEnsemble":
+        """Reconstruct an ensemble from a wire payload (or a live segment buffer).
+
+        This is how pool workers rebuild instances: straight from the
+        shared-memory bytes, without a label-level :class:`Ensemble` (and
+        its per-column hashing) anywhere on the path.  Malformed payloads
+        raise :class:`~repro.errors.WireFormatError`.
+        """
+        from ..serve.wire import unpack_ensemble
+
+        atoms, masks, names = unpack_ensemble(buffer)
+        return cls(atoms, masks, names)
+
     # ------------------------------------------------------------------ #
     # basic properties (mirroring Ensemble)
     # ------------------------------------------------------------------ #

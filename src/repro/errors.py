@@ -70,6 +70,26 @@ class NotC1PError(ReproError):
         self.witness = witness
 
 
+class ServeError(ReproError):
+    """Raised by the persistent serving pool (:mod:`repro.serve`).
+
+    Examples: submitting to a pool that has been shut down, a task whose
+    packed payload exceeds the pool's segment budget, or a task abandoned
+    after repeatedly crashing its worker process.
+    """
+
+
+class WireFormatError(ServeError):
+    """Raised when a packed shared-memory payload cannot be decoded.
+
+    Examples: a truncated or foreign buffer (bad magic), an unsupported
+    wire version, a declared geometry that does not match the buffer size,
+    a column mask referencing atom indices outside the declared universe,
+    or an undecodable label table.  Decoding never returns garbage: every
+    structural inconsistency raises this error instead.
+    """
+
+
 class CertificationError(ReproError):
     """Raised when certificate machinery cannot do its job.
 

@@ -36,6 +36,11 @@ __all__ = [
     "sequential_tutte_build_work",
     "certify_narrowing_tests",
     "certify_work",
+    "wire_dispatch_bytes",
+    "pickle_dispatch_bytes",
+    "dispatch_cost_ratio",
+    "pool_startup_work",
+    "serve_fleet_dispatch_work",
     "paper_depth_bound",
     "paper_processor_bound",
     "paper_processor_bound_dense",
@@ -148,6 +153,88 @@ def certify_work(
     )
     solve = max(1, int(math.ceil(p * log2(p))))
     return tests * solve
+
+
+# ---------------------------------------------------------------------- #
+# serving-layer dispatch costs (repro.serve; DESIGN.md, Substitution 5)
+# ---------------------------------------------------------------------- #
+#: per-worker charge for cold-starting an executor, in the same
+#: constants-one "work units" as the solve charges.  Calibrated to the
+#: observation that forking + importing a worker costs on the order of one
+#: medium solve, which is why cold pools lose on fleets of small instances.
+_POOL_SPAWN_UNITS = 1024
+
+
+def wire_dispatch_bytes(n: int, m: int, label_bytes: int = 0) -> int:
+    """Bytes shipped per task by the packed shared-memory wire format.
+
+    Mirrors :func:`repro.serve.wire.packed_size` symbolically: a fixed
+    28-byte header plus ``m`` contiguous ``ceil(n/8)``-byte column masks
+    plus the interned label table (``0`` for int-labelled fleets, which
+    need no table at all).
+    """
+    return 28 + m * ((n + 7) // 8) + max(0, label_bytes)
+
+
+def pickle_dispatch_bytes(n: int, m: int, p: int) -> int:
+    """Bytes charged for pickling one label-level sub-ensemble.
+
+    A pickled :class:`~repro.ensemble.Ensemble` serializes every one of the
+    ``p`` members of its frozenset columns, every atom label, and per-column
+    container overhead; with all constants one (one machine word per
+    serialized item, the module convention) that is ``8·(p + n + m)``.
+    """
+    return 8 * (p + n + m)
+
+
+def dispatch_cost_ratio(n: int, m: int, p: int, label_bytes: int = 0) -> float:
+    """``pickle_dispatch_bytes / wire_dispatch_bytes`` for one task.
+
+    The break-even story of the serving layer: dense instances amortize the
+    bitmask payload (the ratio approaches ``64·p/(n·m) ≥ 64·density``),
+    while the header keeps the worst case bounded below by ~1 for tiny
+    instances — which is why ``bench_serve_throughput.py`` gates the
+    *measured* fleet, not this model alone.
+    """
+    return pickle_dispatch_bytes(n, m, p) / max(1, wire_dispatch_bytes(n, m, label_bytes))
+
+
+def pool_startup_work(workers: int, *, cold: bool = True) -> int:
+    """Work charged for bringing a pool's workers up (``0`` once warm)."""
+    if not cold:
+        return 0
+    return max(1, workers) * _POOL_SPAWN_UNITS
+
+
+def serve_fleet_dispatch_work(
+    instances: int,
+    n: int,
+    m: int,
+    p: int,
+    *,
+    workers: int = 1,
+    fmt: str = "wire",
+    cold: bool = False,
+    label_bytes: int = 0,
+) -> int:
+    """Total dispatch-side work for a fleet, excluding the solves themselves.
+
+    ``fmt`` is ``"wire"`` (packed shared-memory segments, the
+    :class:`repro.serve.ServePool` path) or ``"pickle"`` (per-task ensemble
+    pickling, the one-shot executor path); ``cold`` adds the pool-startup
+    charge.  Bytes are converted to work at one unit per 8-byte word, so
+    the result is comparable with :func:`certify_work` and the solve
+    charges when modelling where a serving profile's time goes.
+    """
+    if fmt == "wire":
+        per_task = wire_dispatch_bytes(n, m, label_bytes)
+    elif fmt == "pickle":
+        per_task = pickle_dispatch_bytes(n, m, p)
+    else:
+        raise ValueError(f"unknown dispatch format {fmt!r}")
+    return pool_startup_work(workers, cold=cold) + max(0, instances) * (
+        (per_task + 7) // 8
+    )
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,59 @@
+"""Persistent shared-memory serving layer (``repro.serve``).
+
+The paper's parallelism is depth within one instance; the workloads that
+motivate scaling this reproduction — physical-mapping pipelines and
+Tucker-pattern screens over many candidate matrices — are long-lived
+streams of *independent* instances.  :func:`repro.batch.solve_many` covers
+the one-shot case but cold-starts a process pool per call and pickles whole
+label-level sub-ensembles per task, so dispatch overhead dominates fleets
+of small instances.
+
+This package removes both costs:
+
+* :mod:`repro.serve.wire` — a packed wire format (atom-count header +
+  contiguous little-endian column bitmasks + interned label table) written
+  into :mod:`multiprocessing.shared_memory` segments, so a worker
+  reconstructs an :class:`~repro.core.indexed.IndexedEnsemble` straight
+  from the segment buffer without unpickling label-level containers;
+* :mod:`repro.serve.pool` — :class:`ServePool`, a spawn-once worker pool
+  with a submission queue, worker-crash detection and respawn, graceful
+  shutdown, a ``solve_stream`` generator (completion order or input order)
+  and a ``solve_many``-compatible ordered mode; ``certify=True`` witness
+  extraction rides the same warm pool instead of a second executor.
+
+See DESIGN.md, "Substitution 5" for the format rationale and the
+crash-recovery semantics, and ``benchmarks/bench_serve_throughput.py`` for
+the dispatch-cost gate.
+"""
+
+from __future__ import annotations
+
+from ..errors import ServeError, WireFormatError
+from .pool import ServeFuture, ServePool
+from .wire import (
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    attach_payload,
+    attach_segment,
+    ensure_shared_tracker,
+    create_segment,
+    pack_ensemble,
+    packed_size,
+    unpack_ensemble,
+)
+
+__all__ = [
+    "ServePool",
+    "ServeFuture",
+    "ServeError",
+    "WireFormatError",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "pack_ensemble",
+    "unpack_ensemble",
+    "packed_size",
+    "create_segment",
+    "attach_segment",
+    "ensure_shared_tracker",
+    "attach_payload",
+]

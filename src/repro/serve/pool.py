@@ -1,0 +1,813 @@
+"""The persistent worker pool behind ``repro.serve``.
+
+:class:`ServePool` keeps a fixed set of worker processes warm across any
+number of submissions.  A task travels as a *name*, not a pickle: the
+submitting thread packs instances once into the wire format of
+:mod:`repro.serve.wire`, copies them into a ``multiprocessing.shared_memory``
+segment, and enqueues only the segment name plus a few solver flags.  The
+worker attaches the segment, rebuilds each
+:class:`~repro.core.indexed.IndexedEnsemble` straight from the buffer and
+solves; the parent unlinks the segment when the results land.  Small tasks
+are *bundled* — many wire payloads per segment, mirroring ``chunksize`` on
+an executor ``map`` — so a fleet of tiny instances costs one message and
+one worker wake-up per chunk, not per instance.
+
+Robustness model
+----------------
+* **Crash detection + respawn.**  The collector thread multiplexes one
+  result pipe per worker (``connection.wait``) and polls liveness.  When a
+  worker dies (OOM kill, segfault, ``kill -9``), its in-flight bundles are
+  re-dispatched to the surviving workers — the segments still exist, so
+  nothing is re-packed — and a replacement worker is spawned.  Because
+  each pipe has exactly one writer, a worker killed mid-report can tear
+  only its own channel (the parent sees EOF); it can never strand a lock
+  another worker needs, which a shared result queue cannot guarantee.  A
+  bundle that repeatedly crashes its worker is failed with
+  :class:`~repro.errors.ServeError` after ``max_task_retries``
+  re-dispatches instead of crash-looping the pool.
+* **At-least-once dispatch, exactly-once completion.**  A worker killed
+  *after* reporting may leave a duplicate re-dispatch behind; results for
+  bundles no longer pending are dropped, so every future resolves exactly
+  once.
+* **Backpressure.**  At most ``max_inflight`` bundles (and therefore
+  shared-memory segments) exist at a time; ``submit`` blocks once the
+  window is full and unblocks as results arrive.  ``max_segment_bytes``
+  bounds the per-segment budget: oversized single instances are rejected
+  up front, and the streaming chunker flushes bundles early to stay under
+  it.
+* **Graceful shutdown.**  ``close()`` (also via ``with``) drains pending
+  work, sends each worker a sentinel, joins them, and unlinks any segment
+  still alive; stragglers are terminated after a timeout.
+
+Determinism: a pool run is differentially identical to serial
+:func:`repro.batch.solve_many` — same component decomposition, same
+per-task solver entry points, same witness extraction — which the soak
+suite (``tests/test_serve_stress.py``) checks byte for byte.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue
+import threading
+import traceback
+import multiprocessing
+from multiprocessing import connection, shared_memory
+from typing import Hashable, Iterable, Iterator
+
+from ..batch import BatchResult, _linear_component_ensembles
+from ..core.indexed import IndexedEnsemble
+from ..ensemble import Ensemble
+from ..errors import ServeError
+from . import wire
+
+Atom = Hashable
+
+__all__ = ["ServePool", "ServeFuture"]
+
+#: bundle-entry kind bytes understood by the worker loop.
+_K_SOLVE, _K_SOLVE_CERTIFY, _K_CERTIFY = 0, 1, 2
+#: stream stages (tags carried on futures).
+_SOLVE, _CERTIFY = "solve", "certify"
+
+
+# ---------------------------------------------------------------------- #
+# the worker process
+# ---------------------------------------------------------------------- #
+def _worker_loop(task_q, result_conn) -> None:
+    """Run in each worker process: attach, rebuild, solve, report, repeat.
+
+    One result message per *bundle*: a list of ``(order, witness_json)``
+    pairs aligned with the bundle's entries.  Results go back over a
+    per-worker pipe with this process as its only writer, which keeps
+    crash recovery lock-free (see the module docstring).
+    """
+    from ..core import cycle_realization, path_realization
+
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        task_id, segment_name, circular, kernel, engine = item
+        try:
+            segment = wire.attach_segment(segment_name)
+            try:
+                # Copy the entry payloads out of the segment before closing
+                # it: holding memoryview slices across close() would raise
+                # BufferError ("exported pointers exist").  The copy is a
+                # few hundred bytes per small instance — noise next to the
+                # pickling it replaces.
+                entries = [
+                    (kind, bytes(payload))
+                    for kind, payload in wire.unpack_bundle(segment.buf)
+                ]
+            finally:
+                segment.close()
+            outcomes = []
+            for kind, payload in entries:
+                indexed = IndexedEnsemble.from_packed_masks(payload)
+                # The label-level round trip keeps the pool differentially
+                # identical to serial solve_many, which dispatches
+                # label-level sub-ensembles to the same entry points.
+                ensemble = indexed.to_ensemble()
+                order = witness_json = None
+                if kind in (_K_SOLVE, _K_SOLVE_CERTIFY):
+                    solve = cycle_realization if circular else path_realization
+                    order = solve(ensemble, kernel=kernel, engine=engine)
+                if (kind == _K_SOLVE_CERTIFY and order is None) or (
+                    kind == _K_CERTIFY
+                ):
+                    from ..certify.witness import extract_tucker_witness
+
+                    witness_json = extract_tucker_witness(
+                        ensemble,
+                        kernel=kernel,
+                        engine=engine,
+                        circular=circular,
+                        assume_rejected=True,
+                    ).to_json()
+                outcomes.append((order, witness_json))
+            result_conn.send(("done", task_id, outcomes))
+        except BaseException as exc:
+            detail = f"{exc!r}\n{traceback.format_exc()}"
+            try:
+                result_conn.send(("error", task_id, detail))
+            except Exception:  # pragma: no cover - reporting channel gone
+                pass
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                break
+
+
+# ---------------------------------------------------------------------- #
+# futures and bookkeeping
+# ---------------------------------------------------------------------- #
+class ServeFuture:
+    """Result handle for one submitted task or bundle.
+
+    For a single :meth:`ServePool.submit` task, ``result()`` returns
+    ``(order, witness_json)``: the realizing order (or ``None``) and, for
+    certify-flavoured tasks that rejected, the Tucker witness as its JSON
+    payload (reconstruct with
+    :func:`repro.certify.certificates.certificate_from_json`).  For an
+    internal bundle it returns the list of such pairs.
+    """
+
+    __slots__ = ("tag", "_event", "_value", "_error")
+
+    def __init__(self, tag=None) -> None:
+        self.tag = tag
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise TimeoutError("serve task did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _set(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def _set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class _Worker:
+    """One worker process plus its private channels and in-flight set."""
+
+    __slots__ = ("process", "task_q", "result_conn", "inflight")
+
+    def __init__(self, process, task_q, result_conn) -> None:
+        self.process = process
+        self.task_q = task_q
+        self.result_conn = result_conn
+        self.inflight: set[int] = set()
+
+
+class _Inflight:
+    """Parent-side state of one dispatched bundle."""
+
+    __slots__ = (
+        "task_id", "item", "segment", "future", "worker", "retries",
+        "done_q", "single",
+    )
+
+    def __init__(self, task_id, item, segment, future, worker, done_q, single):
+        self.task_id = task_id
+        self.item = item
+        self.segment = segment
+        self.future = future
+        self.worker = worker
+        self.retries = 0
+        self.done_q = done_q
+        self.single = single
+
+
+def _unlink_quietly(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.close()
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def _pack_instance(ensemble: Ensemble | IndexedEnsemble) -> bytes:
+    if isinstance(ensemble, IndexedEnsemble):
+        return ensemble.pack_masks()
+    return IndexedEnsemble.from_ensemble(ensemble).pack_masks()
+
+
+# ---------------------------------------------------------------------- #
+# the pool
+# ---------------------------------------------------------------------- #
+class ServePool:
+    """A persistent shared-memory serving pool.
+
+    Parameters
+    ----------
+    processes:
+        Worker count; ``None`` or ``0`` means one per CPU.
+    max_inflight:
+        Backpressure window: the maximum number of simultaneously live
+        bundles (= shared-memory segments).  Default ``4 × workers``.
+    max_segment_bytes:
+        When set, a single instance whose packed payload exceeds this many
+        bytes is rejected with :class:`~repro.errors.ServeError`, and the
+        streaming chunker flushes bundles early so no segment exceeds the
+        budget.
+    max_task_retries:
+        How many times a bundle is re-dispatched after crashing its worker
+        before its future fails.
+    start_method:
+        ``multiprocessing`` start method for the workers (default:
+        ``"fork"`` where available, else the platform default).
+
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        processes: int | None = None,
+        *,
+        max_inflight: int | None = None,
+        max_segment_bytes: int | None = None,
+        max_task_retries: int = 2,
+        start_method: str | None = None,
+    ) -> None:
+        if processes is not None and processes < 0:
+            raise ValueError(f"processes must be >= 0, got {processes}")
+        workers = processes or (os.cpu_count() or 1)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self.num_workers = workers
+        self.max_inflight = 4 * workers if max_inflight is None else max_inflight
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_segment_bytes = max_segment_bytes
+        self.max_task_retries = max_task_retries
+
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._pending: dict[int, _Inflight] = {}
+        self._counter = itertools.count()
+        self._slots = threading.BoundedSemaphore(self.max_inflight)
+        self._closed = False
+        self._stop = threading.Event()
+        # observability (read by the stress suite and the benchmark)
+        self.respawn_count = 0
+        self.max_inflight_seen = 0
+
+        wire.ensure_shared_tracker()
+        self._workers = [self._spawn_worker() for _ in range(workers)]
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-serve-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn_worker(self) -> _Worker:
+        task_q = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_loop, args=(task_q, send_conn), daemon=True
+        )
+        process.start()
+        # Drop the parent's copy of the write end: once the worker dies, its
+        # pipe reaches EOF instead of blocking a reader forever.
+        send_conn.close()
+        return _Worker(process, task_q, recv_conn)
+
+    def __enter__(self) -> "ServePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close(wait=False, timeout=1.0)
+        except Exception:
+            pass
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current worker processes (changes on respawn)."""
+        with self._lock:
+            return [w.process.pid for w in self._workers]
+
+    @property
+    def alive_workers(self) -> int:
+        with self._lock:
+            return sum(1 for w in self._workers if w.process.is_alive())
+
+    def close(self, *, wait: bool = True, timeout: float | None = 30.0) -> None:
+        """Shut the pool down; idempotent.
+
+        With ``wait`` (the default) pending tasks drain first; either way
+        every worker receives a sentinel, is joined (terminated after
+        ``timeout``), leftover segments are unlinked and unresolved futures
+        fail with :class:`~repro.errors.ServeError`.
+        """
+        with self._lock:
+            if self._closed:
+                already = True
+            else:
+                already = False
+                self._closed = True
+            if already and not self._collector.is_alive():
+                return
+        if wait:
+            with self._idle:
+                self._idle.wait_for(lambda: not self._pending, timeout=timeout)
+        with self._lock:
+            workers = list(self._workers)
+        for worker in workers:
+            try:
+                worker.task_q.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for worker in workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+        self._stop.set()
+        if self._collector.is_alive() and threading.current_thread() is not self._collector:
+            self._collector.join(timeout=5.0)
+        with self._lock:
+            for inflight in list(self._pending.values()):
+                # _resolve releases the backpressure slot too — a submitter
+                # blocked on the in-flight window must wake up, not hang.
+                self._resolve(
+                    inflight,
+                    error=ServeError("pool closed before the task completed"),
+                )
+            self._pending.clear()
+            self._idle.notify_all()
+            for worker in self._workers:
+                if not worker.result_conn.closed:
+                    try:
+                        worker.result_conn.close()
+                    except OSError:  # pragma: no cover - already closed
+                        pass
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        ensemble: Ensemble | IndexedEnsemble,
+        *,
+        circular: bool = False,
+        kernel: str = "indexed",
+        engine: str | None = None,
+        certify: bool = False,
+        _kind: int | None = None,
+        _tag=None,
+    ) -> ServeFuture:
+        """Pack one instance into a segment and dispatch it; thread-safe.
+
+        Blocks while the in-flight window is full.  Returns a
+        :class:`ServeFuture` resolving to ``(order, witness_json)``.  With
+        ``certify=True`` a rejected instance's witness is extracted by the
+        same worker in the same task — no second pool, no second hop.
+        """
+        payload = _pack_instance(ensemble)
+        if (
+            self.max_segment_bytes is not None
+            and wire.bundle_size([len(payload)]) > self.max_segment_bytes
+        ):
+            raise ServeError(
+                f"packed payload is {len(payload)} bytes "
+                f"({wire.bundle_size([len(payload)])} framed), over the "
+                f"pool's segment budget of {self.max_segment_bytes}"
+            )
+        kind = _kind if _kind is not None else (
+            _K_SOLVE_CERTIFY if certify else _K_SOLVE
+        )
+        return self._submit_bundle(
+            [(kind, payload)],
+            circular=circular,
+            kernel=kernel,
+            engine=engine,
+            done_q=None,
+            tag=_tag,
+            single=True,
+        )
+
+    def _submit_bundle(
+        self,
+        entries: list[tuple[int, bytes]],
+        *,
+        circular: bool,
+        kernel: str,
+        engine: str | None,
+        done_q: "queue.Queue | None",
+        tag,
+        single: bool,
+    ) -> ServeFuture:
+        """Ship one bundle of packed entries; blocks on the in-flight window."""
+        frame = wire.pack_bundle(entries)
+        if self._closed:
+            raise ServeError("cannot submit to a closed pool")
+        self._slots.acquire()
+        try:
+            with self._lock:
+                if self._closed:
+                    raise ServeError("cannot submit to a closed pool")
+                task_id = next(self._counter)
+                segment = wire.create_segment(frame)
+                item = (task_id, segment.name, circular, kernel, engine)
+                worker = self._pick_worker()
+                future = ServeFuture(tag)
+                inflight = _Inflight(
+                    task_id, item, segment, future, worker, done_q, single
+                )
+                self._pending[task_id] = inflight
+                worker.inflight.add(task_id)
+                self.max_inflight_seen = max(
+                    self.max_inflight_seen, len(self._pending)
+                )
+                worker.task_q.put(item)
+            return future
+        except BaseException:
+            self._slots.release()
+            raise
+
+    def _pick_worker(self) -> _Worker:
+        """Least-loaded alive worker (called with the lock held)."""
+        alive = [w for w in self._workers if w.process.is_alive()]
+        pool = alive or self._workers
+        return min(pool, key=lambda w: len(w.inflight))
+
+    # ------------------------------------------------------------------ #
+    # the collector thread
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                readers = {
+                    w.result_conn: w
+                    for w in self._workers
+                    if not w.result_conn.closed
+                }
+            try:
+                ready = connection.wait(list(readers), timeout=0.05)
+            except OSError:  # pragma: no cover - raced a respawn
+                ready = []
+            messages = []
+            for conn in ready:
+                try:
+                    messages.append(conn.recv())
+                except (EOFError, OSError):
+                    pass  # worker died; the reap below re-dispatches its tasks
+                except Exception:  # pragma: no cover - torn mid-write message
+                    pass
+            with self._lock:
+                for message in messages:
+                    self._handle_result(message)
+                self._reap_dead_workers()
+                if not self._pending:
+                    self._idle.notify_all()
+
+    def _resolve(self, inflight: _Inflight, *, value=None, error=None) -> None:
+        """Finish one bundle (lock held): unlink, resolve, free the slot."""
+        _unlink_quietly(inflight.segment)
+        if error is not None:
+            inflight.future._set_error(error)
+        else:
+            inflight.future._set(value)
+        if inflight.done_q is not None:
+            inflight.done_q.put(inflight.future)
+        self._slots.release()
+
+    def _handle_result(self, message) -> None:
+        status, task_id, payload = message
+        inflight = self._pending.pop(task_id, None)
+        if inflight is None:
+            return  # duplicate delivery after a crash re-dispatch
+        inflight.worker.inflight.discard(task_id)
+        if status == "done":
+            value = payload[0] if inflight.single else payload
+            self._resolve(inflight, value=value)
+        else:
+            self._resolve(
+                inflight, error=ServeError(f"worker task failed:\n{payload}")
+            )
+
+    def _reap_dead_workers(self) -> None:
+        """Respawn dead workers and re-dispatch their in-flight bundles."""
+        for slot, worker in enumerate(self._workers):
+            if worker.process.is_alive() or worker.result_conn.closed:
+                continue
+            # Drain whatever the worker managed to report before dying, then
+            # retire its pipe (the closed flag doubles as "already reaped").
+            try:
+                while worker.result_conn.poll():
+                    self._handle_result(worker.result_conn.recv())
+            except (EOFError, OSError):
+                pass
+            try:
+                worker.result_conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            orphaned = [
+                self._pending[tid] for tid in sorted(worker.inflight)
+                if tid in self._pending
+            ]
+            worker.inflight.clear()
+            if not self._closed:
+                self._workers[slot] = self._spawn_worker()
+                self.respawn_count += 1
+            for inflight in orphaned:
+                inflight.retries += 1
+                if inflight.retries > self.max_task_retries:
+                    self._pending.pop(inflight.task_id, None)
+                    self._resolve(
+                        inflight,
+                        error=ServeError(
+                            f"task crashed its worker {inflight.retries} times"
+                        ),
+                    )
+                    continue
+                target = self._pick_worker()
+                inflight.worker = target
+                target.inflight.add(inflight.task_id)
+                target.task_q.put(inflight.item)
+
+    # ------------------------------------------------------------------ #
+    # high-level serving API
+    # ------------------------------------------------------------------ #
+    def solve_stream(
+        self,
+        ensembles: Iterable[Ensemble],
+        *,
+        circular: bool = False,
+        kernel: str = "indexed",
+        engine: str | None = None,
+        split_components: bool = True,
+        certify: bool = False,
+        ordered: bool = False,
+        chunksize: int | None = None,
+    ) -> Iterator[BatchResult]:
+        """Stream :class:`~repro.batch.BatchResult`\\ s through the warm pool.
+
+        Yields in completion order by default (each result's ``index``
+        names its input position); ``ordered=True`` yields in input order
+        instead.  Instances, component decomposition, statuses and
+        certificates match serial :func:`repro.batch.solve_many` exactly.
+        Submission runs on a feeder thread and consumes ``ensembles``
+        *lazily*: a generator (e.g. instances parsed off a socket or
+        stdin) starts producing results before it is exhausted, bounded by
+        the pool's in-flight window.  ``chunksize`` controls how many
+        tasks share a segment; the default is the executor policy
+        (``tasks // (workers * 4)``) for sized inputs and ``1`` — lowest
+        per-instance latency — for unsized streams.
+        """
+        if chunksize is None:
+            try:
+                chunksize = max(1, len(ensembles) // (self.num_workers * 4))
+            except TypeError:  # a true stream: favour latency
+                chunksize = 1
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        done_q: queue.Queue = queue.Queue()
+        # Written by the feeder strictly before any bundle naming an index
+        # is submitted; read by the consumer only after that bundle's
+        # result arrives, so the done_q handoff orders every access.
+        states: dict[int, _StreamState] = {}
+
+        feeder_error: list[BaseException] = []
+
+        def _flush(group: list[tuple[tuple, int, bytes]]) -> None:
+            self._submit_bundle(
+                [(kind, payload) for _, kind, payload in group],
+                circular=circular,
+                kernel=kernel,
+                engine=engine,
+                done_q=done_q,
+                tag=tuple(tag for tag, _, _ in group),
+                single=False,
+            )
+
+        def _feed() -> None:
+            try:
+                group: list[tuple[tuple, int, bytes]] = []
+                group_bytes = wire.BUNDLE_HEADER.size
+                count = 0
+                for index, instance in enumerate(ensembles):
+                    count += 1
+                    if split_components and not circular:
+                        subs = _linear_component_ensembles(instance)
+                    else:
+                        subs = [instance]
+                    states[index] = _StreamState(index, instance, len(subs))
+                    kind = (
+                        _K_SOLVE_CERTIFY
+                        if certify and len(subs) == 1
+                        else _K_SOLVE
+                    )
+                    for part, sub in enumerate(subs):
+                        payload = _pack_instance(sub)
+                        cost = wire.ENTRY_HEADER.size + len(payload)
+                        if self.max_segment_bytes is not None:
+                            if (
+                                wire.BUNDLE_HEADER.size + cost
+                                > self.max_segment_bytes
+                            ):
+                                raise ServeError(
+                                    f"packed payload is {len(payload)} bytes, "
+                                    f"over the pool's segment budget of "
+                                    f"{self.max_segment_bytes}"
+                                )
+                            if group and group_bytes + cost > self.max_segment_bytes:
+                                _flush(group)
+                                group, group_bytes = [], wire.BUNDLE_HEADER.size
+                        group.append(((index, part, _SOLVE), kind, payload))
+                        group_bytes += cost
+                        if len(group) >= chunksize:
+                            _flush(group)
+                            group, group_bytes = [], wire.BUNDLE_HEADER.size
+                if group:
+                    _flush(group)
+                done_q.put(("end", count))
+            except BaseException as exc:  # surface in the consumer
+                feeder_error.append(exc)
+                done_q.put(None)
+
+        feeder = threading.Thread(
+            target=_feed, name="repro-serve-feeder", daemon=True
+        )
+        feeder.start()
+
+        completed = 0
+        total: int | None = None
+        next_index = 0
+        buffered: dict[int, BatchResult] = {}
+        try:
+            while total is None or completed < total:
+                message = done_q.get()
+                if message is None:
+                    raise feeder_error[0]
+                if isinstance(message, tuple) and message[0] == "end":
+                    total = message[1]
+                    continue
+                future = message
+                outcomes = future.result()
+                for (index, part, stage), (order, witness_json) in zip(
+                    future.tag, outcomes
+                ):
+                    result = self._advance(
+                        states[index], part, stage, order, witness_json,
+                        circular, kernel, engine, done_q, certify,
+                    )
+                    if result is None:
+                        continue
+                    completed += 1
+                    states.pop(index, None)
+                    if not ordered:
+                        yield result
+                        continue
+                    buffered[index] = result
+                    while next_index in buffered:
+                        yield buffered.pop(next_index)
+                        next_index += 1
+        finally:
+            feeder.join(timeout=5.0)
+
+    def _advance(
+        self,
+        state: "_StreamState",
+        part: int,
+        stage: str,
+        order,
+        witness_json,
+        circular: bool,
+        kernel: str,
+        engine: str | None,
+        done_q: "queue.Queue",
+        certify: bool,
+    ) -> BatchResult | None:
+        """Feed one completed outcome into an instance; return it when done."""
+        if stage == _CERTIFY:
+            from ..certify.certificates import certificate_from_json
+
+            state.result.certificate = certificate_from_json(witness_json)
+            return state.result
+        state.orders[part] = order
+        state.witness_json = state.witness_json or witness_json
+        state.received += 1
+        if state.received < state.parts:
+            return None
+        if any(piece is None for piece in state.orders):
+            combined: list | None = None
+        else:
+            combined = [atom for piece in state.orders for atom in piece]
+        state.result = BatchResult(
+            index=state.index,
+            order=combined,
+            num_atoms=state.ensemble.num_atoms,
+            num_columns=state.ensemble.num_columns,
+            parts=state.parts,
+            status="realized" if combined is not None else "rejected",
+        )
+        if not certify:
+            return state.result
+        if combined is not None:
+            from ..certify.certificates import OrderCertificate
+
+            kind = "circular" if circular else "consecutive"
+            state.result.certificate = OrderCertificate(kind, tuple(combined))
+            return state.result
+        if state.witness_json is not None:  # inline extraction rode the task
+            from ..certify.certificates import certificate_from_json
+
+            state.result.certificate = certificate_from_json(state.witness_json)
+            return state.result
+        # Multi-part rejection: extract from the whole instance — exactly
+        # what serial solve_many does — through the same warm pool.
+        self._submit_bundle(
+            [(_K_CERTIFY, _pack_instance(state.ensemble))],
+            circular=circular,
+            kernel=kernel,
+            engine=engine,
+            done_q=done_q,
+            tag=((state.index, 0, _CERTIFY),),
+            single=False,
+        )
+        return None
+
+    def solve_many(
+        self,
+        ensembles: Iterable[Ensemble],
+        *,
+        circular: bool = False,
+        kernel: str = "indexed",
+        engine: str | None = None,
+        split_components: bool = True,
+        certify: bool = False,
+        chunksize: int | None = None,
+    ) -> list[BatchResult]:
+        """Ordered, :func:`repro.batch.solve_many`-compatible batch solve."""
+        return list(
+            self.solve_stream(
+                ensembles,
+                circular=circular,
+                kernel=kernel,
+                engine=engine,
+                split_components=split_components,
+                certify=certify,
+                ordered=True,
+                chunksize=chunksize,
+            )
+        )
+
+
+class _StreamState:
+    """Per-instance reassembly state for :meth:`ServePool.solve_stream`."""
+
+    __slots__ = (
+        "index", "ensemble", "parts", "orders", "received", "result",
+        "witness_json",
+    )
+
+    def __init__(self, index: int, ensemble: Ensemble, parts: int) -> None:
+        self.index = index
+        self.ensemble = ensemble
+        self.parts = parts
+        self.orders: list[list | None] = [None] * parts
+        self.received = 0
+        self.result: BatchResult | None = None
+        self.witness_json = None

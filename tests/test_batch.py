@@ -104,6 +104,28 @@ class TestSolveMany:
         payload = json.dumps(result.summary())
         assert '"ok": true' in payload
 
+    def test_summary_coerces_non_json_labels(self, rng):
+        import json
+
+        inst = random_c1p_ensemble(6, 4, rng).ensemble.relabel(
+            {i: ("probe", i) for i in range(6)}  # tuple labels: not JSON native
+        )
+        (result,) = solve_many([inst])
+        summary = result.summary()
+        payload = json.loads(json.dumps(summary))  # must not raise
+        assert payload["order"] == [str(a) for a in result.order]
+        # JSON-native labels pass through untouched.
+        (plain,) = solve_many([random_c1p_ensemble(6, 4, rng).ensemble])
+        assert plain.summary()["order"] == list(plain.order)
+
+    def test_summary_label_key_override(self, rng):
+        inst = random_c1p_ensemble(5, 3, rng).ensemble.relabel(
+            {i: ("p", i) for i in range(5)}
+        )
+        (result,) = solve_many([inst])
+        summary = result.summary(label_key=lambda a: a[1])
+        assert summary["order"] == [a[1] for a in result.order]
+
 
 class TestComponentSplitting:
     def test_full_and_trivial_columns_do_not_glue_components(self):
@@ -125,6 +147,54 @@ class TestComponentSplitting:
         subs = _linear_component_ensembles(instance)
         covered = sorted(a for sub in subs for a in sub.atoms)
         assert covered == sorted(instance.atoms)
+
+
+class TestCertifyPooling:
+    def test_certify_reuses_one_executor_for_solve_and_certify(self, rng, monkeypatch):
+        """solve + witness extraction must share a single process pool."""
+        import repro.batch as batch_module
+        from concurrent.futures import ProcessPoolExecutor as RealExecutor
+
+        created = []
+
+        class CountingExecutor(RealExecutor):
+            def __init__(self, *args, **kwargs):
+                created.append(self)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(batch_module, "ProcessPoolExecutor", CountingExecutor)
+        fleet = [random_c1p_ensemble(10, 6, rng).ensemble for _ in range(2)]
+        fleet += [non_c1p_ensemble(8, 6, rng).ensemble for _ in range(2)]
+        results = batch_module.solve_many(fleet, processes=2, certify=True)
+        assert len(created) == 1
+        assert [r.ok for r in results] == [True, True, False, False]
+        assert all(r.certificate is not None for r in results)
+
+    def test_pooled_certificates_match_serial(self, rng):
+        fleet = [random_c1p_ensemble(10, 6, rng).ensemble for _ in range(2)]
+        fleet.append(non_c1p_ensemble(9, 6, rng).ensemble)
+        serial = solve_many(fleet, certify=True)
+        pooled = solve_many(fleet, certify=True, processes=2)
+        for a, b in zip(serial, pooled):
+            assert a.status == b.status
+            assert a.certificate.to_json() == b.certificate.to_json()
+
+
+class TestServePoolRouting:
+    def test_solve_many_pool_parameter_matches_serial(self, rng):
+        import json
+
+        from repro.serve import ServePool
+
+        fleet = [random_c1p_ensemble(10, 6, rng).ensemble for _ in range(6)]
+        fleet.insert(2, non_c1p_ensemble(8, 6, rng).ensemble)
+        fleet.insert(5, _disconnected_instance([11, 12]))
+        serial = solve_many(fleet, certify=True)
+        with ServePool(2) as pool:
+            served = solve_many(fleet, certify=True, pool=pool)
+        assert [
+            json.dumps(r.summary(), sort_keys=True, default=str) for r in serial
+        ] == [json.dumps(r.summary(), sort_keys=True, default=str) for r in served]
 
 
 class TestEngineSelection:

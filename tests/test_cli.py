@@ -151,3 +151,99 @@ class TestEngineFlag:
 
         payload = json.loads(record.read_text())
         assert payload["engine"] == "splitpair"
+
+
+class TestServeSubcommand:
+    GOOD = [[0, 1, 1, 0, 0], [1, 1, 0, 0, 0], [0, 0, 1, 1, 0], [1, 0, 0, 0, 0], [0, 0, 0, 1, 1]]
+    BAD = [[1, 1, 0], [0, 1, 1], [1, 0, 1]]
+
+    def _write_jsonl(self, tmp_path, lines):
+        import json
+
+        path = tmp_path / "instances.jsonl"
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        return str(path)
+
+    def test_serve_emits_one_json_line_per_instance(self, tmp_path, capsys):
+        import json
+
+        path = self._write_jsonl(
+            tmp_path, [self.GOOD, {"id": "bad-one", "matrix": self.BAD}]
+        )
+        assert main(["serve", path, "--processes", "1", "--quiet"]) == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["index"] for r in records] == [0, 1]
+        assert records[0]["ok"] is True and records[0]["id"] is None
+        assert records[1]["ok"] is False and records[1]["id"] == "bad-one"
+
+    def test_serve_matches_batch_results(self, tmp_path, capsys):
+        import json
+
+        from repro.batch import solve_many
+        from repro.matrix import BinaryMatrix
+
+        matrices = [self.GOOD, self.BAD, self.GOOD]
+        path = self._write_jsonl(tmp_path, matrices)
+        main(["serve", path, "--processes", "1", "--certify", "--quiet"])
+        records = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        expected = solve_many(
+            [BinaryMatrix(m).row_ensemble() for m in matrices], certify=True
+        )
+        for record, result in zip(records, expected):
+            assert record["status"] == result.status
+            assert record["certificate"] == json.loads(
+                json.dumps(result.certificate.to_json(), default=str)
+            )
+
+    def test_serve_stdin_and_unordered(self, monkeypatch, capsys):
+        import io
+        import json
+
+        payload = "\n".join(json.dumps(self.GOOD) for _ in range(5))
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        assert main(["serve", "-", "--processes", "2", "--unordered", "--quiet"]) == 0
+        records = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert sorted(r["index"] for r in records) == list(range(5))
+
+    def test_serve_reports_throughput_on_stderr(self, tmp_path, capsys):
+        path = self._write_jsonl(tmp_path, [self.GOOD])
+        assert main(["serve", path, "--processes", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "instances/sec" in err
+
+    def test_serve_rejects_malformed_lines(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(SystemExit, match="line 1"):
+            main(["serve", str(path), "--quiet"])
+        path.write_text('{"no_matrix": 1}\n')
+        with pytest.raises(SystemExit, match="matrix"):
+            main(["serve", str(path), "--quiet"])
+        path.write_text("[[1, 2]]\n")
+        with pytest.raises(SystemExit, match="0 or 1"):
+            main(["serve", str(path), "--quiet"])
+        path.write_text("[[1], [1, 0]]\n")
+        with pytest.raises(SystemExit, match="same length"):
+            main(["serve", str(path), "--quiet"])
+
+    def test_serve_comments_and_blank_lines_ignored(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "instances.jsonl"
+        path.write_text("# header\n\n" + json.dumps(self.GOOD) + "\n")
+        assert main(["serve", str(path), "--processes", "1", "--quiet"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+    def test_serve_columns_flag(self, tmp_path, capsys):
+        import json
+
+        # The triangle is non-C1P on columns but its rows are fine.
+        path = self._write_jsonl(tmp_path, [self.BAD])
+        assert main(["serve", path, "--columns", "--quiet"]) == 1
+        record = json.loads(capsys.readouterr().out.strip())
+        assert record["ok"] is False
