@@ -1,10 +1,22 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
-The project is configured through ``pyproject.toml``; this file exists so
-that legacy installs (``python setup.py develop`` / environments without the
-``wheel`` package) keep working.
+The source layout is ``src/repro``; the package ships a ``py.typed``
+marker (PEP 561) so downstream type checkers consume the inline
+annotations.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-c1p",
+    version="0.5.0",
+    description=(
+        "Reproduction of 'On Testing Consecutive-Ones Property in "
+        "Parallel': certifying C1P solvers, SPQR/Tutte decomposition, "
+        "shared-memory serving pool and a repo-native lint pass"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+)

@@ -101,6 +101,7 @@ from .errors import (
     DecompositionError,
     GraphError,
     InvalidEnsembleError,
+    LintError,
     NotC1PError,
     NotTwoConnectedError,
     PQTreeError,
@@ -152,5 +153,6 @@ __all__ = [
     "AlignmentError",
     "PQTreeError",
     "PRAMError",
+    "LintError",
     "__version__",
 ]

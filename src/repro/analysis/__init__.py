@@ -1,0 +1,47 @@
+"""Repo-native static analysis (``repro.analysis``).
+
+The certify subsystem showed the payoff of *independent checkers*: a
+solver result is only trusted once a simple, separately-implemented
+validator has replayed it.  This package applies the same philosophy to
+the codebase itself.  The invariants that four PRs of growth left
+implicit — shared-memory segments must be closed/unlinked on every path,
+worker payloads must be picklable by construction, solver flags must
+thread consistently through every layer, fast paths must stay
+differentially tied to a reference spec — are encoded as AST-level lint
+rules and enforced by ``python -m repro lint`` and the CI ``lint`` job.
+
+Layout:
+
+* :mod:`repro.analysis.core` — the framework: :class:`Finding`,
+  project walking, ``# repro: lint-ok[rule]`` pragma suppression and the
+  committed-baseline mechanism;
+* :mod:`repro.analysis.checkers` — the five domain rules.
+
+See DESIGN.md, "Invariants as lint rules", for the incident history
+behind each rule.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Baseline,
+    Finding,
+    ModuleInfo,
+    Project,
+    load_project,
+    run_checkers,
+    run_lint,
+)
+from .checkers import ALL_CHECKERS, checker_for
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Baseline",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "checker_for",
+    "load_project",
+    "run_checkers",
+    "run_lint",
+]

@@ -1,0 +1,46 @@
+"""The five domain rules of the repo-native lint pass.
+
+Each checker is an object with a ``rule`` id, a one-line
+``description`` and a ``check(project)`` generator of
+:class:`~repro.analysis.core.Finding`\\ s.  The rule ids are stable API:
+they appear in pragmas, in the committed baseline and in CI
+annotations.
+"""
+
+from __future__ import annotations
+
+from ..core import Finding, ModuleInfo, Project  # noqa: F401 (re-export surface)
+from ...errors import LintError
+from .differential_coverage import DifferentialCoverageChecker
+from .exception_contract import ExceptionContractChecker
+from .flag_parity import FlagParityChecker
+from .shm_lifecycle import ShmLifecycleChecker
+from .spawn_safety import SpawnSafetyChecker
+
+__all__ = [
+    "ALL_CHECKERS",
+    "DifferentialCoverageChecker",
+    "ExceptionContractChecker",
+    "FlagParityChecker",
+    "ShmLifecycleChecker",
+    "SpawnSafetyChecker",
+    "checker_for",
+]
+
+#: the default rule set, in the order findings are grouped for humans.
+ALL_CHECKERS = (
+    ShmLifecycleChecker(),
+    SpawnSafetyChecker(),
+    FlagParityChecker(),
+    ExceptionContractChecker(),
+    DifferentialCoverageChecker(),
+)
+
+
+def checker_for(rule: str):
+    """The default checker instance for ``rule`` (raises on unknown ids)."""
+    for checker in ALL_CHECKERS:
+        if checker.rule == rule:
+            return checker
+    known = ", ".join(c.rule for c in ALL_CHECKERS)
+    raise LintError(f"unknown lint rule {rule!r} (known: {known})")

@@ -1,0 +1,174 @@
+"""Rule ``exception-contract``: typed errors, no silent failure paths.
+
+The library's contract (``repro.errors``) is that callers can catch
+``ReproError`` and trust builtins for everything else.  Three drift
+classes erode it:
+
+* a raise of an ad-hoc class defined outside :mod:`repro.errors`
+  (callers can no longer catch by hierarchy);
+* a bare ``except:`` or an exception swallowed with a bare ``pass``
+  (failures disappear — every intentional swallow must carry a
+  ``# repro: lint-ok[exception-contract]`` pragma explaining itself);
+* validation via ``assert`` (stripped under ``python -O``, so the check
+  silently vanishes in optimized deployments).
+
+What is allowed:
+
+* raising builtins (``ValueError``, ``TimeoutError``,
+  ``SystemExit``, …) — the boundary with the platform stays idiomatic;
+* raising anything imported from an ``errors`` module or accessed as
+  ``errors.X``;
+* raising exception classes defined in the *same* module whose bases
+  resolve to an allowed exception (private protocol exceptions like a
+  PQ-tree's internal ``_Fail``);
+* re-raising values (``raise exc`` / ``raise self._error``) — any
+  raised expression whose name starts lowercase is treated as a bound
+  value, not a class;
+* bare ``raise`` (re-raise in an except block).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from ..core import Finding, ModuleInfo, Project, terminal_name
+
+RULE = "exception-contract"
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+
+def _errors_imports(module: ModuleInfo) -> set[str]:
+    """Names imported from an ``errors`` module (any relative depth)."""
+    allowed: set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            source = node.module or ""
+            if source == "errors" or source.endswith(".errors") or (
+                node.level > 0 and source == "errors"
+            ):
+                allowed.update(alias.asname or alias.name for alias in node.names)
+    return allowed
+
+
+def _local_exception_classes(module: ModuleInfo, allowed: set[str]) -> set[str]:
+    """Classes defined in-module whose bases chain to allowed exceptions."""
+    local: set[str] = set()
+    changed = True
+    while changed:  # fixpoint handles classes derived from earlier locals
+        changed = False
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef) or node.name in local:
+                continue
+            bases = [terminal_name(base) for base in node.bases]
+            if any(
+                base in allowed or base in local or base in _BUILTIN_EXCEPTIONS
+                for base in bases
+                if base
+            ):
+                local.add(node.name)
+                changed = True
+    return local
+
+
+def _is_swallow(handler: ast.ExceptHandler) -> bool:
+    """The handler body does nothing at all."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+class ExceptionContractChecker:
+    rule = RULE
+    description = (
+        "src/repro raises only repro.errors types or builtins; no bare "
+        "except, no silent swallows, no validation via assert"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        allowed = set(_BUILTIN_EXCEPTIONS) | _errors_imports(module)
+        allowed |= _local_exception_classes(module, allowed)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                yield from self._check_raise(module, node, allowed)
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+            elif isinstance(node, ast.Assert):
+                yield module.finding(
+                    self.rule,
+                    node,
+                    "runtime assert used for validation: stripped under "
+                    "python -O; raise a repro.errors type (or guard with "
+                    "an explicit if/raise)",
+                )
+
+    def _check_raise(
+        self, module: ModuleInfo, node: ast.Raise, allowed: set[str]
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        while isinstance(target, ast.Subscript):
+            target = target.value  # raise errors[0] — classify the container
+        name = terminal_name(target)
+        if name is None:
+            yield module.finding(
+                self.rule,
+                node,
+                "raise of an expression the linter cannot classify; raise "
+                "a repro.errors type or a builtin directly",
+            )
+            return
+        if not name[:1].isupper():
+            return  # a bound value being re-raised, not a class
+        # errors.Foo(...) — attribute access rooted at an errors module
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "errors"
+        ):
+            return
+        if name not in allowed:
+            yield module.finding(
+                self.rule,
+                node,
+                f"raises '{name}', which is neither a builtin nor a "
+                "repro.errors type: callers catching ReproError will miss "
+                "it",
+            )
+
+    def _check_handler(
+        self, module: ModuleInfo, handler: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if handler.type is None:
+            yield module.finding(
+                self.rule,
+                handler,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
+                "name the exceptions (or 'except BaseException' with a "
+                "re-raise)",
+            )
+        if _is_swallow(handler):
+            yield module.finding(
+                self.rule,
+                handler,
+                "exception swallowed without a pragma: add "
+                "'# repro: lint-ok[exception-contract]' with the reason, "
+                "or handle/log the failure",
+            )

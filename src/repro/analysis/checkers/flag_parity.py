@@ -1,0 +1,123 @@
+"""Rule ``flag-parity``: solver flags thread through every layer.
+
+The drift class this rule exists for: a kwarg (``kernel=``, ``engine=``,
+``certify=``, ``circular=``) is added to one public entry point but not
+forwarded by the public entry points that call it.  The symptom is
+silent — the callee just runs with its default — and it has historically
+surfaced only when a differential suite happened to cover the exact
+flag combination (e.g. an engine override honoured by
+``path_realization`` but dropped on the batch path).
+
+Mechanics (two phases over the whole ``src/repro`` tree):
+
+1. **registry** — every *public* function (no leading underscore)
+   exposing one of the tracked kwargs in keyword-capable position
+   (keyword-only, or positional with a default) is recorded under its
+   bare name, with the set of tracked kwargs it accepts.  Same-named
+   functions (e.g. ``solve_many`` on the batch and serve layers) merge
+   their sets — by design: same name, same flag surface.
+2. **check** — inside every public function that itself exposes tracked
+   kwargs, every call to a registered name must pass each tracked kwarg
+   the caller and callee share, either explicitly (``engine=engine``,
+   or any explicit value — pinning is a visible decision) or via
+   ``**kwargs`` forwarding.  A missing flag is a finding on the call
+   line.
+
+Deliberate omissions take a ``# repro: lint-ok[flag-parity]`` pragma
+with the reason in the adjacent comment (e.g. the witness extractor's
+narrowing re-solves, which run linear on complemented matrices by
+construction), or a baseline entry when the justification needs prose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ModuleInfo, Project, terminal_name
+
+RULE = "flag-parity"
+
+#: the solver flags whose forwarding the rule enforces.
+TRACKED = ("certify", "circular", "engine", "kernel")
+
+
+def _tracked_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+    """Tracked kwargs ``fn`` accepts in keyword-capable position."""
+    names: set[str] = set()
+    args = fn.args
+    defaulted = args.args[len(args.args) - len(args.defaults) :]
+    for arg in list(args.kwonlyargs) + list(defaulted):
+        if arg.arg in TRACKED:
+            names.add(arg.arg)
+    return frozenset(names)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+class FlagParityChecker:
+    rule = RULE
+    description = (
+        "public entry points must forward the kernel/engine/certify/"
+        "circular kwargs to every public entry point they call"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        registry = self._build_registry(project)
+        for module in project.modules:
+            yield from self._check_module(module, registry)
+
+    def _build_registry(self, project: Project) -> dict[str, frozenset[str]]:
+        registry: dict[str, frozenset[str]] = {}
+        for module in project.modules:
+            for fn in module.functions():
+                if not _is_public(fn.name):
+                    continue
+                tracked = _tracked_params(fn)
+                if tracked:
+                    registry[fn.name] = registry.get(fn.name, frozenset()) | tracked
+        return registry
+
+    def _check_module(
+        self, module: ModuleInfo, registry: dict[str, frozenset[str]]
+    ) -> Iterator[Finding]:
+        for fn in module.functions():
+            if not _is_public(fn.name):
+                continue
+            caller_flags = _tracked_params(fn)
+            if not caller_flags:
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = terminal_name(node.func)
+                if callee is None or callee not in registry:
+                    continue
+                if not _is_public(callee):
+                    continue
+                required = caller_flags & registry[callee]
+                if not required:
+                    continue
+                passed = {kw.arg for kw in node.keywords}
+                if None in passed:  # a **kwargs splat forwards everything
+                    continue
+                # positional forwarding of the flag under its own name
+                # (e.g. ``query_work(n, m, engine)``) counts as passed
+                passed.update(
+                    arg.id
+                    for arg in node.args
+                    if isinstance(arg, ast.Name) and arg.id in TRACKED
+                )
+                missing = sorted(required - passed)
+                if missing:
+                    yield module.finding(
+                        self.rule,
+                        node,
+                        f"call to {callee}() drops {missing}: the enclosing "
+                        f"{fn.name}() exposes "
+                        f"{sorted(caller_flags & registry[callee])} and must "
+                        "forward them (or pin them explicitly / add a "
+                        "pragma for a deliberate omission)",
+                    )

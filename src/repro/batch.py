@@ -39,11 +39,12 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Hashable, Iterable
 
 from .core import cycle_realization, path_realization
 from .ensemble import Ensemble
+from .errors import CertificationError
 
 Atom = Hashable
 
@@ -156,6 +157,31 @@ def _certify_task(task: _CertifyTask) -> tuple[int, object]:
     return task.index, witness
 
 
+def _component_witness_remap(witness, original: Ensemble, sub: Ensemble):
+    """Re-index a component witness to the original instance's columns.
+
+    The component split preserves column *contents*: trivial/full columns
+    are dropped whole, duplicates keep their first representative, and each
+    remaining column lies wholly inside one component, so every sub-ensemble
+    column set appears verbatim among the original columns.  Mapping each
+    witness row to the first original column with the same atom set
+    therefore yields an equally valid witness whose ``row_indices`` refer
+    to the input ensemble — without re-running the extraction's narrowing
+    re-solves on the full instance.
+    """
+    first_index: dict[frozenset, int] = {}
+    for i, col in enumerate(original.columns):
+        first_index.setdefault(col, i)
+    try:
+        rows = tuple(first_index[sub.columns[j]] for j in witness.row_indices)
+    except (KeyError, IndexError) as exc:
+        raise CertificationError(
+            "component witness references a column absent from the original "
+            "instance; the component split no longer preserves column sets"
+        ) from exc
+    return replace(witness, row_indices=rows)
+
+
 def _linear_component_ensembles(ensemble: Ensemble) -> list[Ensemble]:
     """Sub-ensembles of the connected components that constrain a linear layout.
 
@@ -218,9 +244,11 @@ def solve_many(
         the solver's column normalisation).
     certify:
         Attach a certificate to every result: an ``OrderCertificate`` for
-        realized instances and a checkable ``TuckerWitness`` (extracted from
-        the *original* instance, so its row indices refer to the input
-        columns) for rejected ones.  Witness extractions for rejected
+        realized instances and a checkable ``TuckerWitness`` for rejected
+        ones.  A rejected split instance extracts its witness from the
+        failed component's sub-ensemble — reusing the narrowing the solve
+        already computed — and the witness rows are re-indexed so they
+        refer to the input columns.  Witness extractions for rejected
         instances reuse the *same* executor as the solve fan-out.
     pool:
         A warm :class:`repro.serve.ServePool`.  When given, every task —
@@ -244,7 +272,7 @@ def solve_many(
         )
     instances = list(ensembles)
     tasks: list[_Task] = []
-    parts_per_instance: list[int] = []
+    subs_per_instance: list[list[Ensemble]] = []
     for index, ensemble in enumerate(instances):
         if split_components and not circular:
             subs = _linear_component_ensembles(ensemble)
@@ -252,7 +280,7 @@ def solve_many(
             subs = [ensemble]
         for part, sub in enumerate(subs):
             tasks.append(_Task(index, part, sub, circular, kernel, engine))
-        parts_per_instance.append(len(subs))
+        subs_per_instance.append(subs)
 
     workers = _resolve_workers(processes, max(1, len(tasks)))
     executor = ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
@@ -266,7 +294,8 @@ def solve_many(
         # Reassemble: concatenate component layouts in component order; a
         # single failed component fails its whole instance.
         orders: dict[int, list[list | None]] = {
-            index: [None] * parts for index, parts in enumerate(parts_per_instance)
+            index: [None] * len(subs)
+            for index, subs in enumerate(subs_per_instance)
         }
         for index, part, order in outcomes:
             orders[index][part] = order
@@ -284,14 +313,22 @@ def solve_many(
                     order=combined,
                     num_atoms=ensemble.num_atoms,
                     num_columns=ensemble.num_columns,
-                    parts=parts_per_instance[index],
+                    parts=len(subs_per_instance[index]),
                     status="realized" if combined is not None else "rejected",
                 )
             )
 
         if certify:
             _attach_certificates(
-                results, instances, circular, kernel, engine, executor, workers
+                results,
+                instances,
+                subs_per_instance,
+                orders,
+                circular,
+                kernel,
+                engine,
+                executor,
+                workers,
             )
     finally:
         if executor is not None:
@@ -302,6 +339,8 @@ def solve_many(
 def _attach_certificates(
     results: list[BatchResult],
     instances: list[Ensemble],
+    subs_per_instance: list[list[Ensemble]],
+    orders: dict[int, list[list | None]],
     circular: bool,
     kernel: str,
     engine: str | None,
@@ -314,20 +353,26 @@ def _attach_certificates(
     (cheap, done inline).  Rejected instances need a witness extraction —
     many narrowing re-solves each — so those reuse the solve fan-out's
     ``executor`` (already warm; no second pool is ever created), chunked
-    like the solve map.
+    like the solve map.  A rejected split instance extracts from its first
+    *failed component's* sub-ensemble — the narrowing the solve already
+    paid for — and the witness rows are re-indexed to the input columns by
+    :func:`_component_witness_remap`, instead of re-running the extraction
+    against the full instance.
     """
     from .certify.certificates import OrderCertificate
 
     kind = "circular" if circular else "consecutive"
     rejected: list[_CertifyTask] = []
+    sources: dict[int, Ensemble] = {}
     for result in results:
         if result.order is not None:
             result.certificate = OrderCertificate(kind, tuple(result.order))
         else:
+            subs = subs_per_instance[result.index]
+            failed = orders[result.index].index(None)
+            sources[result.index] = subs[failed]
             rejected.append(
-                _CertifyTask(
-                    result.index, instances[result.index], circular, kernel, engine
-                )
+                _CertifyTask(result.index, subs[failed], circular, kernel, engine)
             )
     if not rejected:
         return
@@ -338,4 +383,7 @@ def _attach_certificates(
         chunksize = max(1, len(rejected) // (workers * 4))
         outcomes = list(executor.map(_certify_task, rejected, chunksize=chunksize))
     for index, witness in outcomes:
+        source = sources[index]
+        if source is not instances[index]:
+            witness = _component_witness_remap(witness, instances[index], source)
         results[index].certificate = witness

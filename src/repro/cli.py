@@ -10,7 +10,13 @@ lines and answers through a persistent shared-memory worker pool
 subcommand solves one matrix and emits a machine-checkable certificate
 either way (the realizing order, or a Tucker obstruction witness validated
 by the independent checker).  ``--certify`` on the plain, batch and serve
-modes attaches the same certificates inline.
+modes attaches the same certificates inline.  The ``lint`` subcommand runs
+the repo-native static-analysis pass (:mod:`repro.analysis`) that enforces
+the codebase's concurrency and contract invariants — shared-memory
+lifecycle, spawn safety, solver-flag parity, the exception contract and
+differential coverage of fast paths — against a committed baseline of
+justified exceptions; ``--strict`` makes any non-baselined finding fail
+the run (the CI gate).
 
 Examples
 --------
@@ -25,6 +31,8 @@ Examples
     python -m repro certify matrix.csv --json cert.json   # certificate as JSON
     python -m repro serve instances.jsonl --processes 4   # JSONL in, JSONL out
     echo '{"id": 7, "matrix": [[1,1,0],[0,1,1]]}' | python -m repro serve -
+    python -m repro lint --strict                  # the CI invariant gate
+    python -m repro lint --format github           # findings as annotations
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
 from .batch import solve_many
@@ -46,6 +55,7 @@ __all__ = [
     "batch_main",
     "certify_main",
     "serve_main",
+    "lint_main",
     "parse_matrix_text",
     "parse_instance_line",
 ]
@@ -89,9 +99,10 @@ def _build_parser() -> argparse.ArgumentParser:
         epilog="Use 'repro batch FILE [FILE ...]' to solve many matrices at once "
         "over a process pool, 'repro serve FILE' to stream JSON-line "
         "instances through a persistent shared-memory worker pool, or "
-        "'repro certify FILE' for a standalone certificate report (see "
-        "their --help). A matrix file literally named 'batch', 'serve' or "
-        "'certify' can be solved as './batch'.",
+        "'repro certify FILE' for a standalone certificate report, or "
+        "'repro lint' for the repo-native invariant lint pass (see "
+        "their --help). A matrix file literally named 'batch', 'serve', "
+        "'certify' or 'lint' can be solved as './batch'.",
     )
     parser.add_argument("matrix", nargs="?", help="path to the matrix file ('-' for stdin)")
     parser.add_argument("--demo", action="store_true", help="run on a built-in example matrix")
@@ -260,6 +271,135 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the closing stats line (stderr)"
     )
     return parser
+
+
+def _build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Run the repo-native static-analysis pass over a source "
+        "tree: shm-lifecycle (segments closed/unlinked on every path), "
+        "spawn-safety (worker payloads picklable by construction), "
+        "flag-parity (kernel/engine/certify/circular kwargs forwarded "
+        "through every public layer), exception-contract (typed errors, no "
+        "silent swallows, no validation asserts) and differential-coverage "
+        "(every fast path bound to a differential/stress/fuzz/corpus "
+        "suite).  Intentional exceptions live in a committed baseline "
+        "(entries need a written justification) or behind inline "
+        "'# repro: lint-ok[rule]' pragmas.",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=".",
+        help="repository root containing src/repro (default: cwd)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="RULE[,RULE...]",
+        default=None,
+        help="run only these rule ids (default: all five)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file (default: ROOT/lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings (justifications "
+        "are stubbed with TODO markers for you to fill in) and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="finding output format; 'github' emits workflow-command "
+        "annotations (::error file=...,line=...)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any non-baselined finding exists (the CI "
+        "gate); without it the run only reports",
+    )
+    return parser
+
+
+def lint_main(argv: Sequence[str]) -> int:
+    """Entry point of ``python -m repro lint``."""
+    from .analysis import Baseline, checker_for, run_lint
+    from .errors import LintError
+
+    args = _build_lint_parser().parse_args(argv)
+    baseline_path = args.baseline or str(Path(args.root) / "lint-baseline.json")
+    try:
+        checkers = None
+        if args.rules is not None:
+            checkers = [
+                checker_for(rule.strip())
+                for rule in args.rules.split(",")
+                if rule.strip()
+            ]
+        report = run_lint(
+            args.root, checkers=checkers, baseline=Baseline.load(baseline_path)
+        )
+    except LintError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        from .analysis import Baseline as _Baseline
+
+        payload = _Baseline.from_findings(report.new + report.baselined).to_json()
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(
+            f"wrote {len(payload['entries'])} entries to {baseline_path} "
+            "(fill in the TODO justifications)"
+        )
+        return 0
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "new": [f.to_json() for f in report.new],
+                    "baselined": [f.to_json() for f in report.baselined],
+                    "pragma_suppressed": report.suppressed,
+                    "stale_baseline_entries": report.stale,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in report.new:
+            line = (
+                finding.render_github()
+                if args.format == "github"
+                else finding.render()
+            )
+            print(line)
+        for finding in report.baselined:
+            if args.format != "github":  # annotations only for actionable ones
+                print(f"{finding.render()}  [baselined]")
+        for entry in report.stale:
+            print(
+                f"stale baseline entry: {entry['rule']} at {entry['path']} "
+                f"({entry['context']}) no longer matches any finding",
+                file=sys.stderr,
+            )
+        summary = (
+            f"{len(report.new)} finding(s), {len(report.baselined)} "
+            f"baselined, {report.suppressed} pragma-suppressed, "
+            f"{len(report.stale)} stale baseline entr(y/ies)"
+        )
+        print(summary, file=sys.stderr)
+    if args.strict and report.new:
+        return 1
+    return 0
 
 
 def parse_instance_line(line: str, lineno: int) -> tuple[object, list[list[int]]]:
@@ -471,6 +611,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return certify_main(list(argv[1:]))
     if argv and argv[0] == "serve":
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "lint":
+        return lint_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     if args.demo:
         text = _DEMO

@@ -90,6 +90,18 @@ class WireFormatError(ServeError):
     """
 
 
+class LintError(ReproError):
+    """Raised by the static-analysis pass (:mod:`repro.analysis`) on
+    unusable inputs.
+
+    Examples: a source file that does not parse, a malformed or
+    incomplete baseline file (every entry needs a rule, path, context
+    and a non-empty justification), or a request for an unknown rule
+    id.  Findings themselves are *data*, not exceptions — this error
+    means the pass could not run, not that it found something.
+    """
+
+
 class CertificationError(ReproError):
     """Raised when certificate machinery cannot do its job.
 

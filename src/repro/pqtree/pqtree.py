@@ -213,7 +213,10 @@ class PQTree:
         # template P3: no partial child, both full and empty children present
         full_child = wrap_children(fulls)
         empty_child = wrap_children(empties)
-        assert full_child is not None and empty_child is not None
+        if full_child is None or empty_child is None:
+            raise PQTreeError(
+                "template P3 requires both full and empty children"
+            )
         return QNode([full_child, empty_child]), PARTIAL
 
     # -- Q-node templates -------------------------------------------------- #

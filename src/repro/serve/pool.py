@@ -56,7 +56,11 @@ import multiprocessing
 from multiprocessing import connection, shared_memory
 from typing import Hashable, Iterable, Iterator
 
-from ..batch import BatchResult, _linear_component_ensembles
+from ..batch import (
+    BatchResult,
+    _component_witness_remap,
+    _linear_component_ensembles,
+)
 from ..core.indexed import IndexedEnsemble
 from ..ensemble import Ensemble
 from ..errors import ServeError
@@ -133,7 +137,7 @@ def _worker_loop(task_q, result_conn) -> None:
             detail = f"{exc!r}\n{traceback.format_exc()}"
             try:
                 result_conn.send(("error", task_id, detail))
-            except Exception:  # pragma: no cover - reporting channel gone
+            except Exception:  # pragma: no cover - reporting channel gone  # repro: lint-ok[exception-contract] nothing left to tell the parent
                 pass
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 break
@@ -215,7 +219,7 @@ def _unlink_quietly(segment: shared_memory.SharedMemory) -> None:
     try:
         segment.close()
         segment.unlink()
-    except FileNotFoundError:  # pragma: no cover - already gone
+    except FileNotFoundError:  # pragma: no cover - already gone  # repro: lint-ok[exception-contract] quietly-idempotent unlink
         pass
 
 
@@ -318,7 +322,7 @@ class ServePool:
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close(wait=False, timeout=1.0)
-        except Exception:
+        except Exception:  # repro: lint-ok[exception-contract] GC safety net must not raise
             pass
 
     @property
@@ -356,7 +360,7 @@ class ServePool:
         for worker in workers:
             try:
                 worker.task_q.put(None)
-            except Exception:  # pragma: no cover - queue already broken
+            except Exception:  # pragma: no cover - queue already broken  # repro: lint-ok[exception-contract] shutdown proceeds to kill
                 pass
         for worker in workers:
             worker.process.join(timeout=5.0)
@@ -380,7 +384,7 @@ class ServePool:
                 if not worker.result_conn.closed:
                     try:
                         worker.result_conn.close()
-                    except OSError:  # pragma: no cover - already closed
+                    except OSError:  # pragma: no cover - already closed  # repro: lint-ok[exception-contract]
                         pass
 
     # ------------------------------------------------------------------ #
@@ -449,18 +453,28 @@ class ServePool:
                     raise ServeError("cannot submit to a closed pool")
                 task_id = next(self._counter)
                 segment = wire.create_segment(frame)
-                item = (task_id, segment.name, circular, kernel, engine)
-                worker = self._pick_worker()
-                future = ServeFuture(tag)
-                inflight = _Inflight(
-                    task_id, item, segment, future, worker, done_q, single
-                )
-                self._pending[task_id] = inflight
-                worker.inflight.add(task_id)
-                self.max_inflight_seen = max(
-                    self.max_inflight_seen, len(self._pending)
-                )
-                worker.task_q.put(item)
+                try:
+                    item = (task_id, segment.name, circular, kernel, engine)
+                    worker = self._pick_worker()
+                    future = ServeFuture(tag)
+                    inflight = _Inflight(
+                        task_id, item, segment, future, worker, done_q, single
+                    )
+                    self._pending[task_id] = inflight
+                    worker.inflight.add(task_id)
+                    self.max_inflight_seen = max(
+                        self.max_inflight_seen, len(self._pending)
+                    )
+                    worker.task_q.put(item)
+                except BaseException:
+                    # A failed submit must not strand the segment: no
+                    # worker ever learned its name, so nothing downstream
+                    # would unlink it.
+                    self._pending.pop(task_id, None)
+                    for candidate in self._workers:
+                        candidate.inflight.discard(task_id)
+                    _unlink_quietly(segment)
+                    raise
             return future
         except BaseException:
             self._slots.release()
@@ -491,9 +505,10 @@ class ServePool:
             for conn in ready:
                 try:
                     messages.append(conn.recv())
+                # repro: lint-ok[exception-contract] worker died; the reap below re-dispatches its tasks
                 except (EOFError, OSError):
-                    pass  # worker died; the reap below re-dispatches its tasks
-                except Exception:  # pragma: no cover - torn mid-write message
+                    pass
+                except Exception:  # pragma: no cover - torn mid-write message  # repro: lint-ok[exception-contract] reap path recovers the task
                     pass
             with self._lock:
                 for message in messages:
@@ -537,11 +552,11 @@ class ServePool:
             try:
                 while worker.result_conn.poll():
                     self._handle_result(worker.result_conn.recv())
-            except (EOFError, OSError):
+            except (EOFError, OSError):  # repro: lint-ok[exception-contract] drain race with the dead worker
                 pass
             try:
                 worker.result_conn.close()
-            except OSError:  # pragma: no cover - already closed
+            except OSError:  # pragma: no cover - already closed  # repro: lint-ok[exception-contract]
                 pass
             orphaned = [
                 self._pending[tid] for tid in sorted(worker.inflight)
@@ -633,7 +648,7 @@ class ServePool:
                         subs = _linear_component_ensembles(instance)
                     else:
                         subs = [instance]
-                    states[index] = _StreamState(index, instance, len(subs))
+                    states[index] = _StreamState(index, instance, subs)
                     kind = (
                         _K_SOLVE_CERTIFY
                         if certify and len(subs) == 1
@@ -724,7 +739,12 @@ class ServePool:
         if stage == _CERTIFY:
             from ..certify.certificates import certificate_from_json
 
-            state.result.certificate = certificate_from_json(witness_json)
+            certificate = certificate_from_json(witness_json)
+            if state.cert_sub is not None and state.cert_sub is not state.ensemble:
+                certificate = _component_witness_remap(
+                    certificate, state.ensemble, state.cert_sub
+                )
+            state.result.certificate = certificate
             return state.result
         state.orders[part] = order
         state.witness_json = state.witness_json or witness_json
@@ -756,10 +776,14 @@ class ServePool:
 
             state.result.certificate = certificate_from_json(state.witness_json)
             return state.result
-        # Multi-part rejection: extract from the whole instance — exactly
-        # what serial solve_many does — through the same warm pool.
+        # Multi-part rejection: extract from the first failed component's
+        # sub-ensemble — exactly what serial solve_many does — through the
+        # same warm pool; the witness rows are re-indexed to the input
+        # columns when the extraction comes back.
+        failed = state.orders.index(None)
+        state.cert_sub = state.subs[failed]
         self._submit_bundle(
-            [(_K_CERTIFY, _pack_instance(state.ensemble))],
+            [(_K_CERTIFY, _pack_instance(state.cert_sub))],
             circular=circular,
             kernel=kernel,
             engine=engine,
@@ -799,15 +823,19 @@ class _StreamState:
     """Per-instance reassembly state for :meth:`ServePool.solve_stream`."""
 
     __slots__ = (
-        "index", "ensemble", "parts", "orders", "received", "result",
-        "witness_json",
+        "index", "ensemble", "subs", "parts", "orders", "received", "result",
+        "witness_json", "cert_sub",
     )
 
-    def __init__(self, index: int, ensemble: Ensemble, parts: int) -> None:
+    def __init__(
+        self, index: int, ensemble: Ensemble, subs: list[Ensemble]
+    ) -> None:
         self.index = index
         self.ensemble = ensemble
-        self.parts = parts
-        self.orders: list[list | None] = [None] * parts
+        self.subs = subs
+        self.parts = len(subs)
+        self.orders: list[list | None] = [None] * self.parts
         self.received = 0
         self.result: BatchResult | None = None
         self.witness_json = None
+        self.cert_sub: Ensemble | None = None

@@ -335,7 +335,14 @@ def create_segment(payload: bytes) -> shared_memory.SharedMemory:
     (the stdlib rejects zero-size segments).
     """
     segment = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
-    segment.buf[: len(payload)] = payload
+    try:
+        segment.buf[: len(payload)] = payload
+    except BaseException:
+        # Nothing else knows this segment's name yet: failing to unlink
+        # here would leak it until process exit (the PR-4 leak class).
+        segment.close()
+        segment.unlink()
+        raise
     return segment
 
 
@@ -355,7 +362,7 @@ def ensure_shared_tracker() -> None:
         from multiprocessing import resource_tracker
 
         resource_tracker.ensure_running()
-    except Exception:  # pragma: no cover - platform without a tracker
+    except Exception:  # pragma: no cover - platform without a tracker  # repro: lint-ok[exception-contract]
         pass
 
 

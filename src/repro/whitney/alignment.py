@@ -53,7 +53,8 @@ def _edge_in_member(member: Member, *, real_eid: int | None = None, marker: int 
     """The member-graph edge object for a real edge id or a marker id."""
     if real_eid is not None:
         return member.graph.edge(real_eid)
-    assert marker is not None
+    if marker is None:
+        raise AlignmentError("either real_eid or marker must be given")
     return member.marker_edge(marker)
 
 

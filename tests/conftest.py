@@ -21,6 +21,11 @@ settings.register_profile(
 )
 settings.load_profile(os.getenv("HYPOTHESIS_PROFILE", "default"))
 
+# The lint fixture twins under fixtures/lint/ include files whose names match
+# pytest's collection patterns (the differential-coverage rule is about test
+# naming conventions); they are inputs to test_lint.py, not tests.
+collect_ignore_glob = ["fixtures/*"]
+
 
 @pytest.fixture
 def rng() -> random.Random:

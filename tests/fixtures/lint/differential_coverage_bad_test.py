@@ -1,0 +1,7 @@
+"""Bad twin: the stress suite exists but stopped importing the fast path."""
+
+import repro
+
+
+def test_something_else():
+    assert repro is not None

@@ -1,0 +1,7 @@
+"""Good twin: a stress suite that imports the fast-path module."""
+
+from repro.fastmod import solve
+
+
+def test_fastmod_matches_reference():
+    assert solve() == "fast"

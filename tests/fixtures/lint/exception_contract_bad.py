@@ -1,0 +1,24 @@
+"""Bad twin for exception-contract: ad-hoc raise, assert, bare/silent except."""
+
+from .somewhere import WeirdFailure
+
+
+def reject(value):
+    if value < 0:
+        raise WeirdFailure("negative")  # LINT
+    assert value != 1  # LINT
+    return value
+
+
+def careless(value):
+    try:
+        return 1 // value
+    except:  # LINT
+        return 0
+
+
+def swallow(value):
+    try:
+        return 1 // value
+    except ZeroDivisionError:  # LINT
+        pass

@@ -1,0 +1,34 @@
+"""Good twin for exception-contract: typed raises, explicit handling."""
+
+from ..errors import ReproError
+
+
+class FixtureError(ReproError):
+    """Local protocol error chained into the repo hierarchy."""
+
+
+def reject(value):
+    if value < 0:
+        raise ValueError("negative")
+    if value == 1:
+        raise FixtureError("one is not allowed")
+    return value
+
+
+def careless(value):
+    try:
+        return 1 // value
+    except ZeroDivisionError:
+        raise FixtureError("value must be nonzero") from None
+
+
+def reraise(exc):
+    raise exc
+
+
+def pragmatic(value):
+    try:
+        return 1 // value
+    except ZeroDivisionError:  # repro: lint-ok[exception-contract] fixture: zero means no-op
+        pass
+    return 0

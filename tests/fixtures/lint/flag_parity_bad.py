@@ -1,0 +1,9 @@
+"""Bad twin for flag-parity: a public caller drops a shared solver flag."""
+
+
+def solve(instance, *, kernel="indexed", engine=None):
+    return (instance, kernel, engine)
+
+
+def solve_batch(instances, *, kernel="indexed", engine=None):
+    return [solve(item, kernel=kernel) for item in instances]  # LINT

@@ -1,0 +1,20 @@
+"""Good twin for flag-parity: forwarded, pinned, splatted — all accepted."""
+
+
+def solve(instance, *, kernel="indexed", engine=None):
+    return (instance, kernel, engine)
+
+
+def solve_batch(instances, *, kernel="indexed", engine=None):
+    return [solve(item, kernel=kernel, engine=engine) for item in instances]
+
+
+def solve_pinned(instances, *, kernel="indexed", engine=None):
+    del engine
+    return [solve(item, kernel=kernel, engine="spqr") for item in instances]
+
+
+def solve_positional(instance, *, kernel="indexed", engine=None):
+    return solve(instance, kernel=kernel, engine=engine) if engine else solve(
+        instance, kernel=kernel, engine=None
+    )

@@ -1,0 +1,47 @@
+"""Bad twin for shm-lifecycle: leaks, straight-line release, view escape.
+
+Lines expected to be flagged carry the trailing fixture marker; the
+fixture test asserts the checker reports exactly those lines.
+"""
+
+from multiprocessing import shared_memory
+
+
+def compute_header(payload: bytes) -> bytes:
+    return len(payload).to_bytes(8, "little")
+
+
+def never_released(payload: bytes) -> str:
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))  # LINT
+    return segment.name
+
+
+def straight_line(payload: bytes) -> bytes:
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))  # LINT
+    data = bytes(segment.buf)
+    segment.close()
+    segment.unlink()
+    return data
+
+
+def risky_gap(payload: bytes) -> bytes:
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))  # LINT
+    header = compute_header(payload)
+    try:
+        segment.buf[: len(payload)] = payload
+    finally:
+        segment.close()
+        segment.unlink()
+    return header
+
+
+def view_escape(payload: bytes):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        return segment.buf  # LINT
+    finally:
+        segment.close()
+
+
+def release_segment(segment: shared_memory.SharedMemory) -> None:  # LINT
+    _ = segment.name

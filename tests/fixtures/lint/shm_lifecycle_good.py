@@ -1,0 +1,33 @@
+"""Good twin for shm-lifecycle: every acquisition secured, views copied."""
+
+from multiprocessing import shared_memory
+
+
+def try_finally(payload: bytes) -> bytes:
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        segment.buf[: len(payload)] = payload
+        return bytes(segment.buf)
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def guarded_handoff(payload: bytes) -> shared_memory.SharedMemory:
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        segment.buf[: len(payload)] = payload
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    return segment
+
+
+def close_segment(segment: shared_memory.SharedMemory) -> None:
+    segment.close()
+
+
+def unlink_segment(segment: shared_memory.SharedMemory) -> None:
+    segment.close()
+    segment.unlink()

@@ -1,0 +1,25 @@
+"""Bad twin for spawn-safety: lambdas, stale globals, rich payload fields."""
+
+from multiprocessing import Process, Queue
+
+_MODE = "fast"
+
+
+def set_mode(mode: str) -> None:
+    global _MODE
+    _MODE = mode
+
+
+class Payload:
+    handle: object  # LINT
+    count: int
+
+
+def worker(payload: Payload) -> None:
+    print(_MODE)  # LINT
+
+
+def dispatch(task_q: Queue) -> None:
+    Process(target=worker).start()
+    Process(target=lambda: None).start()  # LINT
+    task_q.put(lambda item: item)  # LINT

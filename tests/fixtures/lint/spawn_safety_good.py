@@ -1,0 +1,18 @@
+"""Good twin for spawn-safety: module-level entries, primitive payloads."""
+
+from multiprocessing import Process, Queue
+
+
+class Payload:
+    name: str
+    sizes: tuple[int, ...]
+    extra: dict[str, int] | None
+
+
+def worker(payload: Payload) -> None:
+    print(payload.name)
+
+
+def dispatch(task_q: Queue) -> None:
+    Process(target=worker).start()
+    task_q.put(("item", 3))

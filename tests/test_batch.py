@@ -213,3 +213,103 @@ class TestEngineSelection:
         fleet = [random_c1p_ensemble(8, 5, rng).ensemble]
         with pytest.raises(ValueError):
             solve_many(fleet, engine="hopcroft")
+
+
+class TestComponentCertification:
+    """Rejected split instances certify from the failed component.
+
+    The witness extraction reuses the narrowing the solve already computed
+    (the component sub-ensemble) instead of re-extracting from the full
+    instance; the witness rows are then re-indexed to the input columns so
+    the certificate stays checkable against the original ensemble.
+    """
+
+    def _split_rejected_instance(self) -> tuple[Ensemble, int]:
+        """A good component first, then a planted-obstruction component.
+
+        Returns the glued instance and the number of leading good columns,
+        so tests can assert the witness rows were re-indexed *past* them.
+        """
+        good = random_c1p_ensemble(8, 5, random.Random(1)).ensemble.relabel(
+            {i: 500 + i for i in range(8)}
+        )
+        bad = non_c1p_ensemble(6, 6, random.Random(0)).ensemble
+        glued = Ensemble(good.atoms + bad.atoms, good.columns + bad.columns)
+        return glued, len(good.columns)
+
+    def test_witness_extracted_from_failed_component(self, monkeypatch):
+        import repro.batch as batch_module
+        from repro.certify.checker import check_ensemble
+
+        instance, _ = self._split_rejected_instance()
+        seen = []
+        real = batch_module._certify_task
+
+        def spy(task):
+            seen.append(task.ensemble)
+            return real(task)
+
+        monkeypatch.setattr(batch_module, "_certify_task", spy)
+        (result,) = solve_many([instance], certify=True)
+        assert result.parts >= 2 and not result.ok
+        (extracted,) = seen
+        assert extracted.num_atoms < instance.num_atoms
+        assert extracted.num_columns < instance.num_columns
+        assert check_ensemble(instance, result.certificate)
+
+    def test_witness_rows_are_reindexed_to_input_columns(self):
+        from repro.certify.checker import check_ensemble
+
+        instance, good_columns = self._split_rejected_instance()
+        (result,) = solve_many([instance], certify=True)
+        witness = result.certificate
+        # Every witness row lives in the obstruction component, whose
+        # columns sit *after* the good block in the input: un-remapped
+        # component-local indices would all be < good_columns.
+        assert min(witness.row_indices) >= good_columns
+        assert check_ensemble(instance, witness)
+
+    def test_pool_path_matches_serial_on_split_rejection(self):
+        import json
+
+        from repro.serve import ServePool
+
+        instance, _ = self._split_rejected_instance()
+        fleet = [instance, non_c1p_ensemble(7, 5, random.Random(3)).ensemble]
+        serial = solve_many(fleet, certify=True)
+        with ServePool(2) as pool:
+            served = solve_many(fleet, certify=True, pool=pool)
+        assert [
+            json.dumps(r.summary(), sort_keys=True, default=str) for r in serial
+        ] == [json.dumps(r.summary(), sort_keys=True, default=str) for r in served]
+
+    def test_solve_many_forwards_flags_to_pool(self):
+        """Flag-parity regression: the batch -> pool call chain forwards
+        every solver flag (the lint rule enforces this statically; this
+        test pins the runtime behaviour)."""
+
+        class RecordingPool:
+            def __init__(self):
+                self.kwargs = None
+
+            def solve_many(self, ensembles, **kwargs):
+                self.kwargs = kwargs
+                return []
+
+        pool = RecordingPool()
+        solve_many(
+            [],
+            pool=pool,
+            circular=True,
+            kernel="reference",
+            engine="splitpair",
+            certify=True,
+            split_components=False,
+        )
+        assert pool.kwargs == {
+            "circular": True,
+            "kernel": "reference",
+            "engine": "splitpair",
+            "certify": True,
+            "split_components": False,
+        }

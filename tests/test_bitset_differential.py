@@ -1,0 +1,122 @@
+"""Differential tests for the bitmask primitives (`repro.core.bitset`).
+
+Every mask operation has an obvious set-algebra reference: build the same
+value from plain Python ``set``/``list`` machinery and compare.  The sweep
+deliberately straddles ``SORTED_FALLBACK_WIDTH`` so the byte-chunked
+enumeration fallback is exercised against the same reference as the
+lowest-set-bit loop it replaces.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.bitset import (
+    SORTED_FALLBACK_WIDTH,
+    all_circular_consecutive,
+    all_consecutive,
+    is_permutation_of,
+    mask_from_bytes,
+    mask_from_indices,
+    mask_to_bytes,
+    mask_to_indices,
+)
+
+
+def _random_indices(rng: random.Random, width: int) -> list[int]:
+    density = rng.choice([0.0, 0.01, 0.1, 0.5, 1.0])
+    return [i for i in range(width) if rng.random() < density]
+
+
+def _reference_consecutive(order, columns) -> bool:
+    pos = {atom: i for i, atom in enumerate(order)}
+    for column in columns:
+        hits = sorted(pos[i] for i in mask_to_indices(column))
+        if hits and hits[-1] - hits[0] != len(hits) - 1:
+            return False
+    return True
+
+
+def _reference_circular(order, columns) -> bool:
+    n = len(order)
+    pos = {atom: i for i, atom in enumerate(order)}
+    for column in columns:
+        hits = sorted(pos[i] for i in mask_to_indices(column))
+        if not hits or len(hits) == n:
+            continue
+        gaps = sum(
+            1
+            for a, b in zip(hits, hits[1:] + [hits[0] + n])
+            if b - a > 1
+        )
+        if gaps > 1:
+            return False
+    return True
+
+
+class TestMaskRoundTrips:
+    def test_indices_round_trip_across_fallback_widths(self):
+        rng = random.Random(0xB175E7)
+        for width in (0, 1, 7, 64, 65, SORTED_FALLBACK_WIDTH - 1,
+                      SORTED_FALLBACK_WIDTH, SORTED_FALLBACK_WIDTH + 9,
+                      4 * SORTED_FALLBACK_WIDTH):
+            for _ in range(20):
+                indices = _random_indices(rng, max(width, 1))
+                mask = mask_from_indices(indices)
+                assert mask == sum(1 << i for i in set(indices))
+                assert mask_to_indices(mask) == sorted(set(indices))
+
+    def test_bytes_round_trip_matches_int_to_bytes(self):
+        rng = random.Random(0x5EED)
+        for _ in range(200):
+            width = rng.randrange(1, 3 * SORTED_FALLBACK_WIDTH)
+            mask = mask_from_indices(_random_indices(rng, width))
+            num_bytes = (width + 7) // 8
+            data = mask_to_bytes(mask, num_bytes)
+            assert data == mask.to_bytes(num_bytes, "little")
+            assert mask_from_bytes(data) == mask
+
+    def test_duplicate_indices_collapse(self):
+        assert mask_from_indices([3, 3, 3, 0]) == 0b1001
+        assert mask_to_indices(mask_from_indices([5, 5])) == [5]
+
+
+class TestPredicatesDifferential:
+    def test_is_permutation_of_vs_reference(self):
+        rng = random.Random(0xC1)
+        for _ in range(300):
+            n = rng.randrange(0, 12)
+            order = [rng.randrange(0, max(n, 1) + 2) for _ in range(n)]
+            universe = mask_from_indices(range(n))
+            expected = sorted(order) == list(range(n))
+            assert is_permutation_of(order, universe) == expected
+
+    def test_consecutive_predicates_vs_reference(self):
+        rng = random.Random(0xD1FF)
+        for _ in range(300):
+            n = rng.randrange(1, 10)
+            order = list(range(n))
+            rng.shuffle(order)
+            columns = [
+                mask_from_indices(rng.sample(range(n), rng.randrange(0, n + 1)))
+                for _ in range(rng.randrange(0, 5))
+            ]
+            assert all_consecutive(order, columns) == _reference_consecutive(
+                order, columns
+            )
+            assert all_circular_consecutive(
+                order, columns
+            ) == _reference_circular(order, columns)
+
+    def test_linear_consecutive_implies_circular(self):
+        rng = random.Random(0xCAFE)
+        for _ in range(200):
+            n = rng.randrange(1, 9)
+            order = list(range(n))
+            rng.shuffle(order)
+            columns = [
+                mask_from_indices(rng.sample(range(n), rng.randrange(0, n + 1)))
+                for _ in range(3)
+            ]
+            if all_consecutive(order, columns):
+                assert all_circular_consecutive(order, columns)
