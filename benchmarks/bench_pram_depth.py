@@ -47,3 +47,35 @@ def test_depth_ratio_is_flat(planted_instances):
     ratio_small = small.depth / small.theorem9_depth_bound()
     ratio_large = large.depth / large.theorem9_depth_bound()
     assert ratio_large <= 6 * max(1.0, ratio_small)
+
+
+def test_measured_mode_complements_the_analytic_table():
+    """One measured wall-clock row next to the analytic depth table.
+
+    The E2 sizes above stay below the fan-out cutoff, so their reports are
+    all analytic (``mode="simulated"``).  This row runs an instance past
+    the :func:`repro.pram.costmodel.parallel_fanout_worthwhile` cutoff with
+    ``parallel=2``: the real slice executor takes over and the report
+    switches to wall-clock accounting — depth/work charges stay zero, the
+    two columns are never mixed.  Full worker-count sweeps live in
+    ``bench_parallel_scaling.py`` (E10).
+    """
+    from benchmarks.bench_parallel_scaling import build
+
+    ensemble = build(5000, 600, 8, 40, seed=7)
+    report = parallel_path_realization(ensemble, parallel=2)
+    assert report.order is not None
+    assert report.mode == "measured"
+    assert report.workers == 2
+    assert report.measured_seconds > 0.0
+    assert report.depth == 0 and report.work == 0
+    reporting.register(
+        "E2b  measured-mode report (real 2-worker fan-out; see E10 for sweeps)",
+        [
+            f"n={report.n} m={report.m} mode={report.mode} "
+            f"workers={report.workers} "
+            f"wall={report.measured_seconds:.3f}s "
+            f"task_seconds={report.measured_task_seconds:.3f}s "
+            f"tasks={report.parallel_tasks}",
+        ],
+    )

@@ -41,6 +41,14 @@ pickling ensembles — same results, certificates included:
 ...     for result in pool.solve_stream(stream_of_ensembles):
 ...         ...                                 # completion order
 
+For one *large* instance, ``parallel=N`` on any solver entry point (or
+:class:`ParallelSolver` directly, :mod:`repro.parallel`) executes the
+paper's top-level divide with N real worker processes over shared-memory
+slices — byte-for-byte the serial kernel's answer, with a cost-model
+cutoff that keeps small or connected instances on the serial kernel:
+
+>>> order = path_realization(big_ensemble, parallel=4)   # doctest: +SKIP
+
 Orthogonally, ``engine="spqr"`` (the default) or ``engine="splitpair"``
 selects the Tutte decomposition engine used by the combine step: the
 near-linear Hopcroft–Tarjan-style palm-tree engine (:mod:`repro.graph.spqr`)
@@ -95,6 +103,7 @@ from .certify import (
     require_consecutive_ones_order,
 )
 from .serve import ServePool
+from .parallel import ParallelSolver
 from .errors import (
     AlignmentError,
     CertificationError,
@@ -104,6 +113,7 @@ from .errors import (
     LintError,
     NotC1PError,
     NotTwoConnectedError,
+    ParallelError,
     PQTreeError,
     PRAMError,
     ReproError,
@@ -120,6 +130,7 @@ __all__ = [
     "BatchResult",
     "solve_many",
     "ServePool",
+    "ParallelSolver",
     "KERNELS",
     "ENGINES",
     "SolverStats",
@@ -146,6 +157,7 @@ __all__ = [
     "NotC1PError",
     "ServeError",
     "WireFormatError",
+    "ParallelError",
     "CertificationError",
     "GraphError",
     "NotTwoConnectedError",

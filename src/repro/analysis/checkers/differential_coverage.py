@@ -43,6 +43,8 @@ FAST_PATH_MODULES = (
     "repro.serve.pool",
     "repro.serve.wire",
     "repro.certify.witness",
+    "repro.parallel.solver",
+    "repro.parallel.executor",
 )
 
 TEST_NAME_PATTERN = re.compile(r"differential|stress|fuzz|corpus")

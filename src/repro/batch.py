@@ -70,6 +70,13 @@ class BatchResult:
     #: with ``certify=True``: an ``OrderCertificate`` for realized instances,
     #: a checkable ``TuckerWitness`` for rejected ones; ``None`` otherwise
     certificate: object | None = None
+    #: what happened to component splitting for this instance:
+    #: ``"components"`` (linear instance, split applied — ``parts`` counts the
+    #: pieces), ``"circular-skip"`` (splitting was requested but the instance
+    #: is circular, where component structure only emerges after the solver's
+    #: column normalisation, so it is *never* split), or ``"off"``
+    #: (``split_components=False``)
+    split: str = ""
 
     @property
     def ok(self) -> bool:
@@ -100,6 +107,7 @@ class BatchResult:
             "num_atoms": self.num_atoms,
             "num_columns": self.num_columns,
             "parts": self.parts,
+            "split": self.split,
             "certificate": certificate,
         }
 
@@ -131,6 +139,32 @@ def _solve_task(task: _Task) -> tuple[int, int, list | None]:
     return task.index, task.part, solve(
         task.ensemble, kernel=task.kernel, engine=task.engine
     )
+
+
+def _solve_serial(
+    tasks: list[_Task], parallel: int | None
+) -> list[tuple[int, int, list | None]]:
+    """Solve every task in-process, in order.
+
+    With ``parallel`` > 1 on the indexed kernel, one
+    :class:`repro.parallel.ParallelSolver` is reused across all tasks so its
+    spawn-once slice workers amortise over the batch; its cost model still
+    decides per task whether fanning out beats the serial kernel, and either
+    way the layouts are byte-for-byte those of the serial kernel.
+    """
+    if parallel is None or parallel < 2 or not tasks or tasks[0].kernel != "indexed":
+        return [_solve_task(task) for task in tasks]
+    from .parallel.solver import ParallelSolver
+
+    outcomes: list[tuple[int, int, list | None]] = []
+    with ParallelSolver(parallel) as solver:
+        for task in tasks:
+            if task.circular:
+                order = solver.solve_cycle(task.ensemble, engine=task.engine)
+            else:
+                order = solver.solve_path(task.ensemble, engine=task.engine)
+            outcomes.append((task.index, task.part, order))
+    return outcomes
 
 
 @dataclass(frozen=True)
@@ -198,6 +232,24 @@ def _linear_component_ensembles(ensemble: Ensemble) -> list[Ensemble]:
     return [effective.restrict(comp) for comp in components]
 
 
+def _split_mode(split_components: bool, circular: bool) -> str:
+    """The ``BatchResult.split`` value for one :func:`solve_many` call.
+
+    Shared with :meth:`repro.serve.ServePool.solve_many` so serial and pool
+    summaries stay byte-for-byte identical.  ``"circular-skip"`` makes the
+    long-standing silent behaviour explicit: circular instances are *never*
+    component-split, because trivial/full-column dropping is only
+    layout-preserving for linear instances — the cycle solver's own column
+    normalisation (complementing majority columns) changes which columns are
+    trivial, so component structure emerges only inside the solve.
+    """
+    if not split_components:
+        return "off"
+    if circular:
+        return "circular-skip"
+    return "components"
+
+
 def _resolve_workers(processes: int | None, num_tasks: int) -> int:
     if processes is None:
         return 1
@@ -218,6 +270,7 @@ def solve_many(
     split_components: bool = True,
     certify: bool = False,
     pool=None,
+    parallel: int | None = None,
 ) -> list[BatchResult]:
     """Solve every ensemble, optionally fanning work out over processes.
 
@@ -241,7 +294,12 @@ def solve_many(
         For linear instances, dispatch independent connected components as
         separate pool tasks and concatenate their layouts.  Circular
         instances are never split (component structure only emerges after
-        the solver's column normalisation).
+        the solver's column normalisation); when splitting is requested on a
+        circular call the skip is recorded explicitly as
+        ``BatchResult.split == "circular-skip"`` rather than silently
+        reporting one part.  See
+        :func:`repro.pram.costmodel.batch_split_savings` for the cost-model
+        view of what the skip forgoes.
     certify:
         Attach a certificate to every result: an ``OrderCertificate`` for
         realized instances and a checkable ``TuckerWitness`` for rejected
@@ -256,11 +314,30 @@ def solve_many(
         persistent workers over the packed shared-memory wire format
         instead of a freshly forked executor, and ``processes`` is ignored.
         Results are identical, in the same order.
+    parallel:
+        Intra-instance workers (``repro.core.path_realization``'s
+        ``parallel=``): each instance is solved through one reused
+        :class:`repro.parallel.ParallelSolver` so its spawn-once slice
+        workers amortise across the batch.  Mutually exclusive with
+        ``processes`` — they fan out on different axes (within vs. across
+        instances) and composing them would oversubscribe the machine — and
+        rejected by ``pool=`` (serve workers are single-process by design).
 
     Returns
     -------
     One :class:`BatchResult` per input ensemble, in input order.
     """
+    if parallel is not None:
+        if isinstance(parallel, bool) or not isinstance(parallel, int):
+            raise ValueError(f"parallel must be an int >= 1 or None, got {parallel!r}")
+        if parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
+        if processes is not None:
+            raise ValueError(
+                "parallel= (workers within one instance) and processes= "
+                "(workers across instances) are mutually exclusive; pick one "
+                "axis of fan-out"
+            )
     if pool is not None:
         return pool.solve_many(
             ensembles,
@@ -269,12 +346,14 @@ def solve_many(
             engine=engine,
             split_components=split_components,
             certify=certify,
+            parallel=parallel,
         )
     instances = list(ensembles)
+    split = _split_mode(split_components, circular)
     tasks: list[_Task] = []
     subs_per_instance: list[list[Ensemble]] = []
     for index, ensemble in enumerate(instances):
-        if split_components and not circular:
+        if split == "components":
             subs = _linear_component_ensembles(ensemble)
         else:
             subs = [ensemble]
@@ -286,7 +365,7 @@ def solve_many(
     executor = ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
     try:
         if executor is None:
-            outcomes = [_solve_task(task) for task in tasks]
+            outcomes = _solve_serial(tasks, parallel)
         else:
             chunksize = max(1, len(tasks) // (workers * 4))
             outcomes = list(executor.map(_solve_task, tasks, chunksize=chunksize))
@@ -315,6 +394,7 @@ def solve_many(
                     num_columns=ensemble.num_columns,
                     parts=len(subs_per_instance[index]),
                     status="realized" if combined is not None else "rejected",
+                    split=split,
                 )
             )
 

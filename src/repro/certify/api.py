@@ -41,10 +41,19 @@ def certified_path_realization(
     *,
     kernel: str = "indexed",
     engine: str | None = None,
+    parallel: int | None = None,
     extraction_stats: ExtractionStats | None = None,
 ) -> CertifiedResult:
-    """Decide the consecutive-ones property with a certificate either way."""
-    order = path_realization(ensemble, stats, kernel=kernel, engine=engine)
+    """Decide the consecutive-ones property with a certificate either way.
+
+    ``parallel=N`` parallelises the accept/reject decision solve
+    (:mod:`repro.parallel`); witness extraction stays sequential — its
+    narrowing re-solves run on shrunken instances below any sensible
+    fan-out cutoff — so certificates are bytewise independent of N.
+    """
+    order = path_realization(
+        ensemble, stats, kernel=kernel, engine=engine, parallel=parallel
+    )
     if order is not None:
         layout = tuple(order)
         return CertifiedResult(layout, OrderCertificate("consecutive", layout))
@@ -61,10 +70,16 @@ def certified_cycle_realization(
     *,
     kernel: str = "indexed",
     engine: str | None = None,
+    parallel: int | None = None,
     extraction_stats: ExtractionStats | None = None,
 ) -> CertifiedResult:
-    """Decide the circular-ones property with a certificate either way."""
-    order = cycle_realization(ensemble, stats, kernel=kernel, engine=engine)
+    """Decide the circular-ones property with a certificate either way.
+
+    ``parallel`` behaves as in :func:`certified_path_realization`.
+    """
+    order = cycle_realization(
+        ensemble, stats, kernel=kernel, engine=engine, parallel=parallel
+    )
     if order is not None:
         layout = tuple(order)
         return CertifiedResult(layout, OrderCertificate("circular", layout))
@@ -80,11 +95,14 @@ def require_consecutive_ones_order(
     *,
     kernel: str = "indexed",
     engine: str | None = None,
+    parallel: int | None = None,
 ) -> list:
     """The realizing order, or :class:`~repro.errors.NotC1PError` carrying a
     checkable Tucker witness — for callers that prefer raise-with-proof over
     ``None`` returns."""
-    result = certified_path_realization(ensemble, kernel=kernel, engine=engine)
+    result = certified_path_realization(
+        ensemble, kernel=kernel, engine=engine, parallel=parallel
+    )
     result.raise_if_rejected()
     return list(result.order)
 
@@ -94,8 +112,11 @@ def require_circular_ones_order(
     *,
     kernel: str = "indexed",
     engine: str | None = None,
+    parallel: int | None = None,
 ) -> list:
     """Circular counterpart of :func:`require_consecutive_ones_order`."""
-    result = certified_cycle_realization(ensemble, kernel=kernel, engine=engine)
+    result = certified_cycle_realization(
+        ensemble, kernel=kernel, engine=engine, parallel=parallel
+    )
     result.raise_if_rejected()
     return list(result.order)

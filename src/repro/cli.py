@@ -127,6 +127,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="on rejection, extract and print a Tucker obstruction witness "
         "(validated by the independent checker)",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="solve this one instance with N real worker processes over "
+        "shared-memory slices (repro.parallel); small or connected "
+        "instances fall back to the serial kernel automatically",
+    )
     parser.add_argument("--quiet", action="store_true", help="print only the order (or NO)")
     return parser
 
@@ -626,11 +635,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     ensemble = matrix.column_ensemble() if args.columns else matrix.row_ensemble()
     solve = cycle_realization if args.circular else path_realization
     if args.certify:
-        result = solve(ensemble, engine=args.engine, certify=True)
+        result = solve(
+            ensemble, engine=args.engine, certify=True, parallel=args.parallel
+        )
         order = None if result.order is None else list(result.order)
     else:
         result = None
-        order = solve(ensemble, engine=args.engine)
+        order = solve(ensemble, engine=args.engine, parallel=args.parallel)
 
     if order is None:
         print("NO" if args.quiet else "The matrix does NOT have the requested property.")

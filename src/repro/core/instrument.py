@@ -47,6 +47,19 @@ class SolverStats:
     merges: int = 0
     #: explicit split balance records: (|A|, |A1|)
     splits: list[tuple[int, int]] = field(default_factory=list)
+    #: how the solve actually executed: ``"sequential"`` (the serial
+    #: kernels), or ``"parallel"`` (real worker processes fanned out over
+    #: shared-memory slices — see :mod:`repro.parallel`).  A request for
+    #: parallel execution that fell below the cost-model cutoff reports
+    #: ``"sequential"``: the field describes what ran, not what was asked.
+    execution: str = "sequential"
+    #: worker processes used by a parallel execution (0 when sequential)
+    parallel_workers: int = 0
+    #: slice tasks dispatched to workers (components/solve/merge ops)
+    parallel_tasks: int = 0
+    #: summed wall-clock seconds spent inside worker slice tasks — measured
+    #: work, as opposed to the analytic PRAM charge of ``repro.pram``
+    parallel_task_seconds: float = 0.0
 
     # ------------------------------------------------------------------ #
     def enter(
@@ -75,6 +88,9 @@ class SolverStats:
 
     def summary(self) -> dict[str, object]:
         return {
+            "execution": self.execution,
+            "parallel_workers": self.parallel_workers,
+            "parallel_tasks": self.parallel_tasks,
             "max_depth": self.max_depth,
             "subproblems": self.subproblems,
             "case_counts": dict(self.case_counts),

@@ -75,6 +75,15 @@ def _check_kernel(kernel: str) -> None:
         raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
 
 
+def _check_parallel(parallel: int | None) -> None:
+    if parallel is None:
+        return
+    if isinstance(parallel, bool) or not isinstance(parallel, int) or parallel < 1:
+        raise ValueError(
+            f"parallel must be a positive worker count or None, got {parallel!r}"
+        )
+
+
 class _TransformAtom:
     """A fresh atom object used by the Tucker transform (never equal to user atoms)."""
 
@@ -125,6 +134,7 @@ def path_realization(
     kernel: str = "indexed",
     engine: str | None = None,
     certify: bool = False,
+    parallel: int | None = None,
 ) -> list[Atom] | None:
     """A consecutive-ones layout of ``ensemble``, or ``None`` if none exists.
 
@@ -132,13 +142,29 @@ def path_realization(
     :class:`~repro.certify.CertifiedResult` instead: the layout plus an
     ``OrderCertificate`` on acceptance, or ``None`` plus a checkable
     ``TuckerWitness`` on rejection (see :mod:`repro.certify`).
+
+    ``parallel=N`` (N >= 2) executes the indexed kernel's top-level divide
+    with N real worker processes over shared-memory slices
+    (:mod:`repro.parallel`); the layout is byte-for-byte the serial
+    kernel's.  Small instances fall back to the serial kernel below a
+    cost-model cutoff, and ``kernel="reference"`` always runs serially
+    (the reference recursion's frozenset iteration order is not stable
+    across process boundaries — see DESIGN.md, Substitution 7).
     """
     _check_kernel(kernel)
     _resolve_engine(engine)
+    _check_parallel(parallel)
     if certify:
         from ..certify.api import certified_path_realization
 
-        return certified_path_realization(ensemble, stats, kernel=kernel, engine=engine)
+        return certified_path_realization(
+            ensemble, stats, kernel=kernel, engine=engine, parallel=parallel
+        )
+    if parallel is not None and parallel > 1 and kernel == "indexed":
+        from ..parallel.solver import ParallelSolver
+
+        with ParallelSolver(parallel) as solver:
+            return solver.solve_path(ensemble, stats, engine=engine)
     if kernel == "indexed":
         from .indexed import IndexedEnsemble
 
@@ -265,19 +291,32 @@ def cycle_realization(
     kernel: str = "indexed",
     engine: str | None = None,
     certify: bool = False,
+    parallel: int | None = None,
 ) -> list[Atom] | None:
     """A circular-ones layout of ``ensemble``, or ``None`` if none exists.
 
     With ``certify=True`` the return value is a
     :class:`~repro.certify.CertifiedResult` carrying an ``OrderCertificate``
     or a pivot-complemented ``TuckerWitness`` (see :mod:`repro.certify`).
+
+    ``parallel=N`` fans the post-normalisation components out across real
+    worker processes exactly as in :func:`path_realization`; the same
+    serial fallbacks apply.
     """
     _check_kernel(kernel)
     _resolve_engine(engine)
+    _check_parallel(parallel)
     if certify:
         from ..certify.api import certified_cycle_realization
 
-        return certified_cycle_realization(ensemble, stats, kernel=kernel, engine=engine)
+        return certified_cycle_realization(
+            ensemble, stats, kernel=kernel, engine=engine, parallel=parallel
+        )
+    if parallel is not None and parallel > 1 and kernel == "indexed":
+        from ..parallel.solver import ParallelSolver
+
+        with ParallelSolver(parallel) as solver:
+            return solver.solve_cycle(ensemble, stats, engine=engine)
     if kernel == "indexed":
         from .indexed import IndexedEnsemble
 
@@ -378,10 +417,11 @@ def find_consecutive_ones_order(
     kernel: str = "indexed",
     engine: str | None = None,
     certify: bool = False,
+    parallel: int | None = None,
 ) -> list[Atom] | None:
     """Alias of :func:`path_realization` (kept for API symmetry)."""
     return path_realization(
-        ensemble, stats, kernel=kernel, engine=engine, certify=certify
+        ensemble, stats, kernel=kernel, engine=engine, certify=certify, parallel=parallel
     )
 
 
@@ -392,10 +432,11 @@ def find_circular_ones_order(
     kernel: str = "indexed",
     engine: str | None = None,
     certify: bool = False,
+    parallel: int | None = None,
 ) -> list[Atom] | None:
     """Alias of :func:`cycle_realization`."""
     return cycle_realization(
-        ensemble, stats, kernel=kernel, engine=engine, certify=certify
+        ensemble, stats, kernel=kernel, engine=engine, certify=certify, parallel=parallel
     )
 
 
@@ -405,9 +446,13 @@ def has_consecutive_ones(
     *,
     kernel: str = "indexed",
     engine: str | None = None,
+    parallel: int | None = None,
 ) -> bool:
     """Decision version of the consecutive-ones property."""
-    return path_realization(ensemble, stats, kernel=kernel, engine=engine) is not None
+    return (
+        path_realization(ensemble, stats, kernel=kernel, engine=engine, parallel=parallel)
+        is not None
+    )
 
 
 def has_circular_ones(
@@ -416,6 +461,10 @@ def has_circular_ones(
     *,
     kernel: str = "indexed",
     engine: str | None = None,
+    parallel: int | None = None,
 ) -> bool:
     """Decision version of the circular-ones property."""
-    return cycle_realization(ensemble, stats, kernel=kernel, engine=engine) is not None
+    return (
+        cycle_realization(ensemble, stats, kernel=kernel, engine=engine, parallel=parallel)
+        is not None
+    )

@@ -90,6 +90,17 @@ class WireFormatError(ServeError):
     """
 
 
+class ParallelError(ReproError):
+    """Raised by the intra-instance parallel solver (:mod:`repro.parallel`).
+
+    Examples: running a slice task on an executor that has been closed or
+    has no published instance segment, a slice task abandoned after
+    repeatedly crashing its worker process, or a merge-ladder verification
+    failure (which indicates a bug, not a bad input — the serial kernel
+    verifies the same invariant).
+    """
+
+
 class LintError(ReproError):
     """Raised by the static-analysis pass (:mod:`repro.analysis`) on
     unusable inputs.

@@ -1,0 +1,23 @@
+"""Real intra-instance parallelism: the paper's divide on actual processes.
+
+Where :mod:`repro.serve` parallelises *across* instances (one worker per
+whole solve) and :mod:`repro.pram` *simulates* the paper's PRAM schedule,
+this package executes one instance's top-level divide with real worker
+processes operating on slices of a single shared-memory segment:
+
+* :class:`SliceExecutor` — spawn-once slice workers with ServePool-grade
+  crash recovery (EOF detection, respawn, bounded re-dispatch);
+* :class:`ParallelSolver` — the orchestration: pack once, parallel
+  connected components, per-component sub-solves, a verified merge
+  ladder, with cost-model cutoffs and byte-for-byte serial parity.
+
+Entry points thread through as ``path_realization(..., parallel=N)``,
+``cycle_realization``, ``repro.batch.solve_many(parallel=N)`` and
+``repro solve --parallel N``.  See DESIGN.md, Substitution 7 for how
+this deviates from the paper's processor allocation and why.
+"""
+
+from .executor import SliceExecutor, SliceTask
+from .solver import FANOUT_MODES, ParallelSolver
+
+__all__ = ["SliceExecutor", "SliceTask", "ParallelSolver", "FANOUT_MODES"]

@@ -1,0 +1,460 @@
+"""Spawn-once slice workers over one shared-memory instance segment.
+
+The serving pool (:mod:`repro.serve.pool`) ships *whole instances* to
+workers; this executor is its intra-instance sibling: the parent packs one
+instance into a single shared-memory segment (the ``C1PW`` wire format of
+:mod:`repro.serve.wire`, labels omitted) and every worker operates on
+*slices* of it — a range of packed columns for connected-component
+finding, one component's columns for a sub-solve, two adjacent component
+layouts for a merge-ladder step.  Nothing but slice descriptors (ints and
+small byte strings) ever crosses a queue, so dispatch cost is independent
+of instance size.
+
+Process-management idioms are deliberately those of ``ServePool``, which
+the stress campaign of PR 4 hardened: spawn-once workers with per-worker
+task queues, a single-writer result pipe per worker (lock-free, so a
+SIGKILL cannot corrupt a shared channel), EOF-based crash detection with
+respawn and re-dispatch of the crashed worker's outstanding tasks, and a
+bounded retry count so a poison task surfaces as :class:`ParallelError`
+instead of a livelock.
+
+Slice ops (all results are plain bytes/float tuples):
+
+``components``
+    Run union-find over a range ``[lo, hi)`` of the packed columns and
+    return the partial ``(atom, root)`` pairs, for a parallel
+    connected-component pass the parent merges.
+``solve``
+    Re-densify one component (remap its atoms to ``0..k-1``), run the
+    serial indexed path kernel on its columns, and map the layout back to
+    global atom indices.  Because strictly-increasing index remaps leave
+    every mask comparison of the kernel invariant, the returned slice is
+    byte-for-byte what the serial kernel's recursion would have produced
+    in place (DESIGN.md, Substitution 7).
+``merge``
+    Concatenate two component layouts and verify the combined slice
+    (disjointness, permutation, consecutiveness of the covered columns) —
+    one rung of the parallel merge ladder.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from array import array
+from multiprocessing import connection
+
+from ..core.bitset import (
+    all_consecutive,
+    is_permutation_of,
+    mask_from_bytes,
+    mask_from_indices,
+    mask_to_indices,
+)
+from ..core.indexed import IndexedEnsemble, solve_path_indexed
+from ..core.instrument import SolverStats
+from ..errors import ParallelError, WireFormatError
+from ..serve import wire
+
+__all__ = ["SliceExecutor", "SliceTask"]
+
+#: how long the gather loop sleeps in :func:`connection.wait` between
+#: liveness sweeps; crash detection is EOF-driven, this only bounds it.
+_WAIT_TIMEOUT = 0.1
+
+
+# ---------------------------------------------------------------------- #
+# worker side
+# ---------------------------------------------------------------------- #
+def _segment_geometry(buf: memoryview) -> tuple[int, int, int]:
+    """``(n_atoms, n_columns, mask_bytes)`` of the packed instance."""
+    if len(buf) < wire.HEADER.size:
+        raise WireFormatError("instance segment shorter than a wire header")
+    magic, version, _flags, n, m, mask_bytes, _lb, _nb = wire.HEADER.unpack_from(
+        buf, 0
+    )
+    if magic != wire.WIRE_MAGIC:
+        raise WireFormatError(f"bad magic {magic!r} in instance segment")
+    if version != wire.WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version}")
+    return n, m, mask_bytes
+
+
+def _read_mask(buf: memoryview, index: int, mask_bytes: int) -> int:
+    start = wire.HEADER.size + index * mask_bytes
+    return mask_from_bytes(bytes(buf[start : start + mask_bytes]))
+
+
+def _op_components(buf: memoryview, spec: tuple) -> bytes:
+    """Partial union-find over packed columns ``[lo, hi)``.
+
+    Returns ``(atom, root)`` pairs as a packed uint32 array; the parent
+    merges the partial forests.  Only atoms touched by a column in the
+    slice appear — untouched atoms stay singletons by omission.
+    """
+    lo, hi = spec
+    _n, m, mask_bytes = _segment_geometry(buf)
+    if not (0 <= lo <= hi <= m):
+        raise ParallelError(f"component slice [{lo}, {hi}) outside {m} columns")
+    parent: dict[int, int] = {}
+
+    def find(a: int) -> int:
+        root = a
+        while parent[root] != root:
+            root = parent[root]
+        while parent[a] != root:
+            parent[a], a = root, parent[a]
+        return root
+
+    for j in range(lo, hi):
+        ids = mask_to_indices(_read_mask(buf, j, mask_bytes))
+        for atom in ids:
+            parent.setdefault(atom, atom)
+        first = find(ids[0])
+        for atom in ids[1:]:
+            parent[find(atom)] = first
+    pairs = array("I")
+    for atom in parent:
+        pairs.append(atom)
+        pairs.append(find(atom))
+    return pairs.tobytes()
+
+
+def _op_solve(buf: memoryview, spec: tuple) -> tuple:
+    """Solve one component's columns with the serial indexed path kernel.
+
+    ``spec`` is ``(component_mask_bytes, column_index_bytes, engine)``.
+    Returns ``(layout_bytes | None, seconds, max_depth, subproblems)``
+    with the layout mapped back to global atom indices.
+    """
+    comp_bytes, cols_bytes, engine = spec
+    _n, m, mask_bytes = _segment_geometry(buf)
+    started = time.perf_counter()
+    comp = mask_from_bytes(comp_bytes)
+    kept = mask_to_indices(comp)
+    remap = {old: new for new, old in enumerate(kept)}
+    cols = array("I")
+    cols.frombytes(cols_bytes)
+    dense_masks = []
+    for j in cols:
+        if j >= m:
+            raise ParallelError(f"solve slice references column {j} of {m}")
+        mask = _read_mask(buf, j, mask_bytes)
+        dense_masks.append(
+            mask_from_indices(remap[i] for i in mask_to_indices(mask))
+        )
+    stats = SolverStats()
+    indexed = IndexedEnsemble(tuple(range(len(kept))), tuple(dense_masks))
+    order = solve_path_indexed(indexed, stats, engine=engine)
+    elapsed = time.perf_counter() - started
+    if order is None:
+        return (None, elapsed, stats.max_depth, stats.subproblems)
+    layout = array("I", [kept[i] for i in order])
+    return (layout.tobytes(), elapsed, stats.max_depth, stats.subproblems)
+
+
+def _op_merge(buf: memoryview, spec: tuple) -> tuple:
+    """One merge-ladder rung: concatenate two component layouts, verified.
+
+    ``spec`` is ``(left_layout_bytes, right_layout_bytes,
+    column_index_bytes)``.  Components are independent, so the merge *is*
+    concatenation; unlike the serial kernel's components branch this rung
+    re-verifies the combined slice against its columns — cheap insurance
+    (O(group ones) per rung, O(log k) rungs) against a corrupted segment
+    or a broken slice assignment.  Returns ``(merged_bytes, seconds)``.
+    """
+    left_bytes, right_bytes, cols_bytes = spec
+    _n, m, mask_bytes = _segment_geometry(buf)
+    started = time.perf_counter()
+    left = array("I")
+    left.frombytes(left_bytes)
+    right = array("I")
+    right.frombytes(right_bytes)
+    merged = list(left) + list(right)
+    group = mask_from_indices(merged)
+    if not is_permutation_of(merged, group):
+        raise ParallelError("merge ladder saw overlapping component layouts")
+    cols = array("I")
+    cols.frombytes(cols_bytes)
+    masks = []
+    for j in cols:
+        if j >= m:
+            raise ParallelError(f"merge slice references column {j} of {m}")
+        masks.append(_read_mask(buf, j, mask_bytes))
+    if not all_consecutive(merged, masks):
+        raise ParallelError(
+            "merge ladder verification failed: a column of the combined "
+            "group is not consecutive in the concatenated layout"
+        )
+    return (array("I", merged).tobytes(), time.perf_counter() - started)
+
+
+_OPS = {
+    "components": _op_components,
+    "solve": _op_solve,
+    "merge": _op_merge,
+}
+
+
+def _slice_worker_loop(task_q, result_conn) -> None:
+    """Worker entry: attach the named segment per task, run the slice op.
+
+    Items are ``(task_id, segment_name, op, spec)`` tuples of primitives;
+    ``None`` shuts the worker down.  Results go back as
+    ``("done", task_id, payload)`` or ``("error", task_id, detail)`` over
+    this worker's private pipe — single writer, so a crash mid-``send``
+    cannot corrupt another worker's channel.
+    """
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        task_id, segment_name, op, spec = item
+        try:
+            handler = _OPS.get(op)
+            if handler is None:
+                raise ParallelError(f"unknown slice op {op!r}")
+            segment = wire.attach_segment(segment_name)
+            try:
+                result = handler(segment.buf, spec)
+            finally:
+                segment.close()
+            result_conn.send(("done", task_id, result))
+        except BaseException as exc:
+            try:
+                result_conn.send(("error", task_id, f"{type(exc).__name__}: {exc}"))
+            except (OSError, ValueError, BrokenPipeError):  # repro: lint-ok[exception-contract] parent gone; crash handling takes over
+                pass
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                break
+
+
+# ---------------------------------------------------------------------- #
+# parent side
+# ---------------------------------------------------------------------- #
+class SliceTask:
+    """One dispatched slice op and where its result lands."""
+
+    __slots__ = ("slot", "op", "spec", "worker", "retries")
+
+    def __init__(self, slot: int, op: str, spec: tuple) -> None:
+        self.slot = slot
+        self.op = op
+        self.spec = spec
+        self.worker = None
+        self.retries = 0
+
+
+class _SliceWorker:
+    __slots__ = ("process", "task_q", "result_conn")
+
+    def __init__(self, process, task_q, result_conn) -> None:
+        self.process = process
+        self.task_q = task_q
+        self.result_conn = result_conn
+
+
+def _release_segment(segment) -> None:
+    """Close and unlink a segment, tolerating double release."""
+    try:
+        segment.close()
+    except (OSError, ValueError):  # repro: lint-ok[exception-contract] already closed; unlink below still runs
+        pass
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):  # repro: lint-ok[exception-contract] already unlinked (idempotent release)
+        pass
+
+
+class SliceExecutor:
+    """A pool of slice workers bound to one published instance at a time.
+
+    Mirrors ``ServePool``'s lifecycle (spawn-once workers, crash respawn,
+    at-least-once dispatch with exactly-once completion) but runs
+    *synchronous scatter/gather waves*: :meth:`run` blocks until every
+    task of the wave has a result, because the solver's phases (component
+    pass, sub-solves, each ladder level) are true barriers.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        start_method: str | None = None,
+        max_task_retries: int = 2,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.num_workers = workers
+        self.max_task_retries = max_task_retries
+        self.respawn_count = 0
+        self._ctx = multiprocessing.get_context(start_method)
+        self._counter = itertools.count()
+        self._segment = None
+        self._closed = False
+        # The tracker must exist before the first worker so that spawned
+        # children inherit it instead of racing to start their own
+        # (bpo-39959) — same order as ServePool.
+        wire.ensure_shared_tracker()
+        self._workers = [self._spawn_worker() for _ in range(workers)]
+
+    # -- lifecycle ------------------------------------------------------ #
+    def _spawn_worker(self) -> _SliceWorker:
+        task_q = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_slice_worker_loop, args=(task_q, send_conn), daemon=True
+        )
+        process.start()
+        # Parent must not hold the send end: the pipe has to hit EOF when
+        # the worker dies, or crash detection never fires.
+        send_conn.close()
+        return _SliceWorker(process, task_q, recv_conn)
+
+    @property
+    def worker_pids(self) -> list[int]:
+        return [w.process.pid for w in self._workers]
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for w in self._workers if w.process.is_alive())
+
+    def set_instance(self, payload: bytes) -> None:
+        """Publish one packed instance; replaces any previous segment."""
+        if self._closed:
+            raise ParallelError("executor is closed")
+        self.release_instance()
+        self._segment = wire.create_segment(payload)
+
+    def release_instance(self) -> None:
+        """Unpublish the current instance segment, if any."""
+        if self._segment is not None:
+            _release_segment(self._segment)
+            self._segment = None
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.task_q.put(None)
+            except (OSError, ValueError):  # repro: lint-ok[exception-contract] queue torn down with a dead worker
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            if not worker.result_conn.closed:
+                try:
+                    worker.result_conn.close()
+                except OSError:  # repro: lint-ok[exception-contract] pipe died with the worker
+                    pass
+        self.release_instance()
+
+    def __enter__(self) -> "SliceExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------- #
+    def run(self, tasks: list[tuple[str, tuple]]) -> list:
+        """Scatter ``(op, spec)`` tasks, gather results in task order.
+
+        Dispatch is at-least-once: a worker crash re-dispatches its
+        outstanding tasks to a fresh worker (the instance segment
+        outlives workers, so a retry sees identical input); completion is
+        exactly-once via the pending map keyed on globally unique task
+        ids — which also discards stragglers from abandoned waves.
+        """
+        if self._closed:
+            raise ParallelError("executor is closed")
+        if self._segment is None:
+            raise ParallelError("no instance published; call set_instance first")
+        if not tasks:
+            return []
+        segment_name = self._segment.name
+        results: list = [None] * len(tasks)
+        pending: dict[int, SliceTask] = {}
+        loads = {id(w): 0 for w in self._workers}
+
+        def dispatch(task_id: int, entry: SliceTask) -> None:
+            alive = [w for w in self._workers if w.process.is_alive()]
+            pool = alive or self._workers
+            worker = min(pool, key=lambda w: loads.get(id(w), 0))
+            entry.worker = worker
+            loads[id(worker)] = loads.get(id(worker), 0) + 1
+            worker.task_q.put((task_id, segment_name, entry.op, entry.spec))
+
+        def settle(message: tuple) -> None:
+            status, task_id, payload = message
+            entry = pending.pop(task_id, None)
+            if entry is None:
+                return  # a stale duplicate from before a re-dispatch
+            loads[id(entry.worker)] = loads.get(id(entry.worker), 1) - 1
+            if status == "done":
+                results[entry.slot] = payload
+            else:
+                raise ParallelError(f"slice task {entry.op!r} failed: {payload}")
+
+        for slot, (op, spec) in enumerate(tasks):
+            entry = SliceTask(slot, op, spec)
+            task_id = next(self._counter)
+            pending[task_id] = entry
+            dispatch(task_id, entry)
+
+        while pending:
+            conns = [
+                w.result_conn for w in self._workers if not w.result_conn.closed
+            ]
+            for conn in connection.wait(conns, timeout=_WAIT_TIMEOUT):
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    continue  # EOF from a dead worker; the reap below handles it
+                settle(message)
+            self._reap_dead_workers(pending, settle)
+        return results
+
+    def _reap_dead_workers(self, pending, settle) -> None:
+        """Respawn dead workers and re-dispatch their outstanding tasks."""
+        for slot, worker in enumerate(self._workers):
+            if worker.process.is_alive():
+                continue
+            # Drain results the worker managed to send before dying; each
+            # settles normally and will not be retried.
+            try:
+                while worker.result_conn.poll():
+                    settle(worker.result_conn.recv())
+            except (EOFError, OSError):  # repro: lint-ok[exception-contract] pipe EOF ends the drain
+                pass
+            try:
+                worker.result_conn.close()
+            except OSError:  # repro: lint-ok[exception-contract] already closed by the crash
+                pass
+            replacement = self._spawn_worker()
+            self._workers[slot] = replacement
+            self.respawn_count += 1
+            orphans = [
+                (task_id, entry)
+                for task_id, entry in pending.items()
+                if entry.worker is worker
+            ]
+            for task_id, entry in orphans:
+                entry.retries += 1
+                if entry.retries > self.max_task_retries:
+                    raise ParallelError(
+                        f"slice task {entry.op!r} crashed its worker "
+                        f"{entry.retries} times; giving up"
+                    )
+                self._dispatch_to(replacement, task_id, entry)
+
+    def _dispatch_to(self, worker: _SliceWorker, task_id: int, entry: SliceTask) -> None:
+        entry.worker = worker
+        worker.task_q.put((task_id, self._segment.name, entry.op, entry.spec))

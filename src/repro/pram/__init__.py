@@ -1,12 +1,21 @@
 """Simulated CRCW PRAM with work/depth accounting (the paper's machine model).
 
 The paper's parallel claims (Theorem 9) are stated for a CRCW PRAM: time
-``O(log^2 n)`` using ``p·loglog n / log n`` processors.  Real shared-memory
-speedups cannot be demonstrated from CPython (GIL), so this package provides
-the substitution documented in DESIGN.md: a synchronous PRAM *simulator* that
+``O(log^2 n)`` using ``p·loglog n / log n`` processors.  A CRCW PRAM cannot
+be built out of CPython threads (GIL), so this package provides the
+substitution documented in DESIGN.md: a synchronous PRAM *simulator* that
 executes parallel steps sequentially while charging one unit of depth per
 step and one unit of work per processor-operation — exactly the accounting
 the paper's Section 5 analysis uses.
+
+Fidelity to the *machine model* lives here; real wall-clock speedup lives in
+:mod:`repro.parallel`, which executes the same top-level divide with actual
+worker processes over shared-memory slices (Substitution 7 in DESIGN.md).
+:func:`parallel_path_realization` bridges the two: its report is
+``mode="simulated"`` (Section 5 analytic charges) by default and
+``mode="measured"`` when ``parallel=N`` engages the real executor;
+:func:`repro.pram.costmodel.parallel_fanout_worthwhile` is the shared
+cutoff deciding when fan-out beats the serial kernel.
 
 Contents
 --------
@@ -30,12 +39,14 @@ from .primitives import (
     parallel_prefix_sums,
 )
 from .costmodel import (
+    batch_split_savings,
     chen_yesha_processors,
     fussell_tutte_depth,
     fussell_tutte_processors,
     klein_processors,
     paper_depth_bound,
     paper_processor_bound,
+    parallel_fanout_worthwhile,
     prior_work_comparison,
     sequential_tutte_build_work,
     sequential_tutte_query_work,
@@ -59,6 +70,8 @@ __all__ = [
     "prior_work_comparison",
     "sequential_tutte_query_work",
     "sequential_tutte_build_work",
+    "parallel_fanout_worthwhile",
+    "batch_split_savings",
     "ParallelReport",
     "parallel_path_realization",
 ]

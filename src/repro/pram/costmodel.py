@@ -41,6 +41,8 @@ __all__ = [
     "dispatch_cost_ratio",
     "pool_startup_work",
     "serve_fleet_dispatch_work",
+    "parallel_fanout_worthwhile",
+    "batch_split_savings",
     "paper_depth_bound",
     "paper_processor_bound",
     "paper_processor_bound_dense",
@@ -235,6 +237,71 @@ def serve_fleet_dispatch_work(
     return pool_startup_work(workers, cold=cold) + max(0, instances) * (
         (per_task + 7) // 8
     )
+
+
+# ---------------------------------------------------------------------- #
+# intra-instance parallel fan-out (repro.parallel; DESIGN.md, Substitution 7)
+# ---------------------------------------------------------------------- #
+def parallel_fanout_worthwhile(
+    n: int,
+    m: int,
+    p: int,
+    *,
+    workers: int,
+    components: int | None = None,
+    cold: bool = True,
+) -> bool:
+    """Whether fanning one instance's components across real workers pays.
+
+    The saving is the fraction of the sequential solve charge
+    (``p·log p``, the paper's sequential bound with constants one) that
+    disappears when ``min(workers, components)`` sub-solves run
+    concurrently; the cost is the pool startup charge (``0`` once warm)
+    plus one wire-format publication of the instance, at one work unit
+    per 8-byte word.  ``components=None`` means the component count is
+    not yet known (the pre-pack check): the fan-out is then bounded by
+    ``workers`` alone, and the caller re-checks once the parallel
+    component pass has counted them.
+
+    This is deliberately conservative — below the cutoff the serial
+    kernel runs unchanged, so a false negative costs only the speedup,
+    never correctness.
+    """
+    if workers < 2:
+        return False
+    if components is not None and components < 2:
+        return False
+    fanout = min(workers, components) if components is not None else workers
+    solve = max(1, p) * log2(max(2, p))
+    saved = solve * (1.0 - 1.0 / fanout)
+    overhead = pool_startup_work(workers, cold=cold) + (
+        wire_dispatch_bytes(n, m) + 7
+    ) // 8
+    return saved > overhead
+
+
+def batch_split_savings(
+    n: int, m: int, p: int, *, components: int, circular: bool = False
+) -> float:
+    """Fraction of the sequential solve charge saved by batch splitting.
+
+    The batch layer (:func:`repro.batch.solve_many`) splits *linear*
+    instances into connected components before dispatch; with ``k``
+    components of roughly equal weight the per-instance charge drops from
+    ``p·log p`` to ``p·log(p/k)``, a saving of
+    ``1 - log(p/k)/log(p)``.
+
+    Circular instances are **never** split by the batch layer — the
+    column complementation performed during a circular solve breaks the
+    identity-based witness remapping the split path relies on (see
+    ``BatchResult.split == "circular-skip"``) — so the saving is exactly
+    ``0.0`` and cost models must not claim split savings for circular
+    batches.
+    """
+    if circular or components <= 1 or p <= 1:
+        return 0.0
+    per_comp = max(2.0, p / components)
+    return max(0.0, 1.0 - log2(per_comp) / log2(max(2, p)))
 
 
 # ---------------------------------------------------------------------- #

@@ -60,6 +60,7 @@ from ..batch import (
     BatchResult,
     _component_witness_remap,
     _linear_component_ensembles,
+    _split_mode,
 )
 from ..core.indexed import IndexedEnsemble
 from ..ensemble import Ensemble
@@ -446,6 +447,19 @@ class ServePool:
         frame = wire.pack_bundle(entries)
         if self._closed:
             raise ServeError("cannot submit to a closed pool")
+        if (
+            self.max_segment_bytes is not None
+            and len(frame) > self.max_segment_bytes
+        ):
+            # Authoritative size gate, checked on the *packed frame* before
+            # any state changes hands: callers' pre-checks estimate entry
+            # costs, but only this rejection is guaranteed not to strand an
+            # in-flight slot (not yet acquired) or a registered segment (not
+            # yet created).
+            raise ServeError(
+                f"bundle frame is {len(frame)} bytes, over the pool's "
+                f"segment budget of {self.max_segment_bytes}"
+            )
         self._slots.acquire()
         try:
             with self._lock:
@@ -596,6 +610,7 @@ class ServePool:
         certify: bool = False,
         ordered: bool = False,
         chunksize: int | None = None,
+        parallel: int | None = None,
     ) -> Iterator[BatchResult]:
         """Stream :class:`~repro.batch.BatchResult`\\ s through the warm pool.
 
@@ -609,8 +624,17 @@ class ServePool:
         the pool's in-flight window.  ``chunksize`` controls how many
         tasks share a segment; the default is the executor policy
         (``tasks // (workers * 4)``) for sized inputs and ``1`` — lowest
-        per-instance latency — for unsized streams.
+        per-instance latency — for unsized streams.  ``parallel`` (the
+        intra-instance fan-out of :mod:`repro.parallel`) is rejected:
+        serve workers are single-process by design.
         """
+        if parallel is not None:
+            raise ServeError(
+                "intra-instance parallel= fan-out is not available through "
+                "a ServePool: serve workers are single-process by design. "
+                "Drop pool= to use repro.parallel, or rely on the pool's "
+                "across-instance fan-out."
+            )
         if chunksize is None:
             try:
                 chunksize = max(1, len(ensembles) // (self.num_workers * 4))
@@ -637,6 +661,8 @@ class ServePool:
                 single=False,
             )
 
+        split = _split_mode(split_components, circular)
+
         def _feed() -> None:
             try:
                 group: list[tuple[tuple, int, bytes]] = []
@@ -644,11 +670,11 @@ class ServePool:
                 count = 0
                 for index, instance in enumerate(ensembles):
                     count += 1
-                    if split_components and not circular:
+                    if split == "components":
                         subs = _linear_component_ensembles(instance)
                     else:
                         subs = [instance]
-                    states[index] = _StreamState(index, instance, subs)
+                    states[index] = _StreamState(index, instance, subs, split)
                     kind = (
                         _K_SOLVE_CERTIFY
                         if certify and len(subs) == 1
@@ -762,6 +788,7 @@ class ServePool:
             num_columns=state.ensemble.num_columns,
             parts=state.parts,
             status="realized" if combined is not None else "rejected",
+            split=state.split,
         )
         if not certify:
             return state.result
@@ -803,8 +830,13 @@ class ServePool:
         split_components: bool = True,
         certify: bool = False,
         chunksize: int | None = None,
+        parallel: int | None = None,
     ) -> list[BatchResult]:
-        """Ordered, :func:`repro.batch.solve_many`-compatible batch solve."""
+        """Ordered, :func:`repro.batch.solve_many`-compatible batch solve.
+
+        ``parallel`` is rejected (:class:`~repro.errors.ServeError`), as in
+        :meth:`solve_stream`.
+        """
         return list(
             self.solve_stream(
                 ensembles,
@@ -815,6 +847,7 @@ class ServePool:
                 certify=certify,
                 ordered=True,
                 chunksize=chunksize,
+                parallel=parallel,
             )
         )
 
@@ -824,15 +857,20 @@ class _StreamState:
 
     __slots__ = (
         "index", "ensemble", "subs", "parts", "orders", "received", "result",
-        "witness_json", "cert_sub",
+        "witness_json", "cert_sub", "split",
     )
 
     def __init__(
-        self, index: int, ensemble: Ensemble, subs: list[Ensemble]
+        self,
+        index: int,
+        ensemble: Ensemble,
+        subs: list[Ensemble],
+        split: str = "",
     ) -> None:
         self.index = index
         self.ensemble = ensemble
         self.subs = subs
+        self.split = split
         self.parts = len(subs)
         self.orders: list[list | None] = [None] * self.parts
         self.received = 0

@@ -312,4 +312,91 @@ class TestComponentCertification:
             "engine": "splitpair",
             "certify": True,
             "split_components": False,
+            "parallel": None,
         }
+
+
+class TestCircularSplitSkip:
+    """Regression: circular=True used to *silently* bypass component
+    splitting; the skip is now explicit in ``BatchResult.split`` and kept
+    byte-for-byte identical between the serial and pool paths."""
+
+    def _circular_disconnected(self) -> Ensemble:
+        return _disconnected_instance([11, 12, 13])
+
+    def test_circular_skip_is_recorded(self):
+        instance = self._circular_disconnected()
+        (result,) = solve_many([instance], circular=True)
+        assert result.parts == 1
+        assert result.split == "circular-skip"
+        assert result.summary()["split"] == "circular-skip"
+
+    def test_linear_split_is_recorded(self):
+        (result,) = solve_many([self._circular_disconnected()])
+        assert result.split == "components"
+        assert result.parts >= 3
+
+    def test_split_off_is_recorded(self):
+        (result,) = solve_many(
+            [self._circular_disconnected()], split_components=False
+        )
+        assert result.split == "off"
+        (circ,) = solve_many(
+            [self._circular_disconnected()],
+            circular=True,
+            split_components=False,
+        )
+        assert circ.split == "off"
+
+    def test_pool_matches_serial_on_circular_skip(self):
+        import json
+
+        from repro.serve import ServePool
+
+        instance = self._circular_disconnected()
+        serial = solve_many([instance], circular=True, certify=True)
+        with ServePool(2) as pool:
+            pooled = solve_many([instance], circular=True, certify=True, pool=pool)
+        canon = lambda r: json.dumps(r.summary(), sort_keys=True, default=str)
+        assert [canon(r) for r in pooled] == [canon(r) for r in serial]
+
+    def test_cost_model_reports_no_savings_for_circular(self):
+        from repro.pram.costmodel import batch_split_savings
+
+        assert batch_split_savings(24, 15, 60, components=3, circular=True) == 0.0
+        assert batch_split_savings(24, 15, 60, components=3) > 0.0
+
+
+class TestIntraInstanceParallel:
+    def test_parallel_batch_matches_serial(self):
+        fleet = [_disconnected_instance([s, s + 1]) for s in range(20, 26, 2)]
+        fleet.append(non_c1p_ensemble(8, 6, random.Random(9)).ensemble)
+        serial = solve_many(fleet)
+        threaded = solve_many(fleet, parallel=2)
+        assert [r.order for r in threaded] == [r.order for r in serial]
+        assert [r.summary() for r in threaded] == [r.summary() for r in serial]
+
+    def test_parallel_circular_matches_serial(self):
+        fleet = [_disconnected_instance([s]) for s in (31, 32)]
+        serial = solve_many(fleet, circular=True)
+        threaded = solve_many(fleet, circular=True, parallel=2)
+        assert [r.order for r in threaded] == [r.order for r in serial]
+
+    def test_parallel_and_processes_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            solve_many([], parallel=2, processes=2)
+
+    def test_parallel_validated(self):
+        with pytest.raises(ValueError):
+            solve_many([], parallel=0)
+        with pytest.raises(ValueError):
+            solve_many([], parallel=True)
+
+    def test_pool_rejects_parallel(self):
+        from repro.errors import ServeError
+        from repro.serve import ServePool
+
+        instance = _disconnected_instance([41])
+        with ServePool(1) as pool:
+            with pytest.raises(ServeError, match="single-process"):
+                solve_many([instance], pool=pool, parallel=2)

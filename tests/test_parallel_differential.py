@@ -1,0 +1,249 @@
+"""Differential sweep for the real intra-instance parallel solver.
+
+The load-bearing property mirrors the serve-pool campaign: everything the
+:mod:`repro.parallel` slice machinery produces — layouts, rejections,
+witnesses, certificates — must be byte-for-byte identical to the serial
+kernel on the same instance, across kernels, engines and circular mode.
+The hypothesis sweep runs with ``fanout="always"`` so the cost model cannot
+quietly route examples back to the serial kernel: every multi-component
+example exercises the packed segment, the sliced component pass, real
+worker sub-solves and the verified merge ladder.  The CI job
+(``parallel-differential``) replays it at 500 fixed-seed examples via
+``HYPOTHESIS_PROFILE=parallel-ci``.
+
+On top of the differential core, the suite exercises the executor's
+failure envelope with the same idioms as ``test_serve_stress.py``: a
+worker SIGKILLed with tasks already enqueued (respawn + re-dispatch, the
+wave still completes and still matches serial), and retry-budget
+exhaustion failing the wave with :class:`~repro.errors.ParallelError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Ensemble
+from repro.certify import (
+    certified_cycle_realization,
+    certified_path_realization,
+)
+from repro.core import (
+    ENGINES,
+    KERNELS,
+    cycle_realization,
+    path_realization,
+)
+from repro.core.instrument import SolverStats
+from repro.errors import ParallelError
+from repro.generators import non_c1p_ensemble, random_c1p_ensemble
+from repro.parallel.executor import SliceExecutor
+from repro.parallel.solver import ParallelSolver
+from repro.serve import wire
+
+GRID = st.sampled_from([(k, e) for k in KERNELS for e in ENGINES])
+
+#: up to three blocks on disjoint atom ranges — multi-component by
+#: construction — mixing realizable and planted-obstruction shapes.
+blocks = st.lists(
+    st.fixed_dictionaries(
+        {
+            "atoms": st.integers(min_value=4, max_value=9),
+            "cols": st.integers(min_value=2, max_value=6),
+            "bad": st.booleans(),
+            "seed": st.integers(min_value=0, max_value=2**20),
+        }
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def _build_instance(params: list[dict]) -> Ensemble:
+    """Disjoint blocks glued into one (usually disconnected) ensemble."""
+    atoms: tuple = ()
+    columns: tuple = ()
+    offset = 0
+    for spec in params:
+        rng = random.Random(spec["seed"])
+        if spec["bad"]:
+            part = non_c1p_ensemble(max(6, spec["atoms"]), spec["cols"], rng).ensemble
+        else:
+            part = random_c1p_ensemble(spec["atoms"], spec["cols"], rng).ensemble
+        mapping = {a: offset + i for i, a in enumerate(part.atoms)}
+        part = part.relabel(mapping)
+        offset += part.num_atoms
+        atoms += part.atoms
+        columns += part.columns
+    return Ensemble(atoms, columns)
+
+
+@pytest.fixture(scope="module")
+def warm_solver():
+    """One spawn-once solver shared by the whole sweep (fanout forced on)."""
+    with ParallelSolver(2, fanout="always") as solver:
+        yield solver
+
+
+def _canon(payload) -> str:
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+class TestDifferentialSweep:
+    @given(params=blocks, grid=GRID, circular=st.booleans())
+    def test_layouts_match_serial_byte_for_byte(
+        self, warm_solver, params, grid, circular
+    ):
+        kernel, engine = grid
+        instance = _build_instance(params)
+        serial_solve = cycle_realization if circular else path_realization
+        expected = serial_solve(instance, kernel=kernel, engine=engine)
+        if circular:
+            got = warm_solver.solve_cycle(instance, engine=engine)
+        else:
+            got = warm_solver.solve_path(instance, engine=engine)
+        assert got == expected
+
+    @given(params=blocks, engine=st.sampled_from(ENGINES), circular=st.booleans())
+    def test_certificates_match_serial_byte_for_byte(
+        self, params, engine, circular
+    ):
+        # Witnesses and order certificates must be bytewise independent of
+        # parallel=N — extraction stays sequential, and an accepted layout
+        # is byte-identical, so so is its certificate.
+        instance = _build_instance(params)
+        fn = certified_cycle_realization if circular else certified_path_realization
+        base = fn(instance, engine=engine)
+        threaded = fn(instance, engine=engine, parallel=2)
+        assert _canon(threaded.to_json()) == _canon(base.to_json())
+
+    @given(params=blocks, circular=st.booleans())
+    def test_entry_point_threading_matches_serial(self, params, circular):
+        # path_realization(parallel=N) at default fanout="auto": the cost
+        # model keeps these small instances serial, and the answer must be
+        # unchanged either way.
+        instance = _build_instance(params)
+        serial_solve = cycle_realization if circular else path_realization
+        assert serial_solve(instance, parallel=2) == serial_solve(instance)
+
+
+class TestStatsContract:
+    def test_real_fanout_reports_measured_execution(self, warm_solver):
+        instance = _build_instance(
+            [
+                {"atoms": 9, "cols": 5, "bad": False, "seed": 11},
+                {"atoms": 8, "cols": 4, "bad": False, "seed": 12},
+            ]
+        )
+        stats = SolverStats()
+        order = warm_solver.solve_path(instance, stats)
+        assert order == path_realization(instance)
+        assert stats.execution == "parallel"
+        assert stats.parallel_workers == 2
+        assert stats.parallel_tasks >= 1
+        assert stats.parallel_task_seconds > 0.0
+        summary = stats.summary()
+        assert summary["execution"] == "parallel"
+        assert summary["parallel_workers"] == 2
+
+    def test_serial_fallback_reports_sequential_execution(self):
+        instance = _build_instance(
+            [{"atoms": 6, "cols": 4, "bad": False, "seed": 3}]
+        )
+        stats = SolverStats()
+        order = path_realization(instance, stats, parallel=2)
+        assert order == path_realization(instance)
+        assert stats.execution == "sequential"
+        assert stats.parallel_tasks == 0
+
+    def test_invalid_parallel_rejected(self):
+        instance = _build_instance(
+            [{"atoms": 5, "cols": 3, "bad": False, "seed": 1}]
+        )
+        with pytest.raises(ValueError):
+            path_realization(instance, parallel=0)
+        with pytest.raises(ValueError):
+            cycle_realization(instance, parallel=True)
+
+
+def _packed_chain(n: int = 64) -> tuple[bytes, list[tuple[str, tuple]]]:
+    """A packed path instance plus one full-range component task."""
+    columns = [(1 << i) | (1 << (i + 1)) for i in range(0, n - 1, 2)]
+    payload = wire.pack_ensemble(range(n), columns, None, with_labels=False)
+    return payload, [("components", (0, len(columns)))]
+
+
+class TestCrashRecovery:
+    def test_sigkill_with_tasks_enqueued_re_dispatches(self):
+        # The victim dies holding this wave's tasks in its queue: the
+        # executor must respawn it, re-dispatch, and still return the same
+        # bytes a healthy run produces.
+        payload, tasks = _packed_chain()
+        with SliceExecutor(1) as executor:
+            executor.set_instance(payload)
+            baseline = executor.run(tasks)
+            victim = executor.worker_pids[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 10
+            while executor.alive_workers and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert executor.run(tasks) == baseline
+            assert executor.respawn_count >= 1
+            assert executor.alive_workers == 1
+            executor.release_instance()
+
+    def test_sigkill_mid_solve_recovers_and_matches_serial(self):
+        instance = _build_instance(
+            [
+                {"atoms": 9, "cols": 6, "bad": False, "seed": 21},
+                {"atoms": 9, "cols": 6, "bad": False, "seed": 22},
+                {"atoms": 8, "cols": 5, "bad": True, "seed": 23},
+            ]
+        )
+        expected = path_realization(instance)
+        with ParallelSolver(2, fanout="always") as solver:
+            assert solver.solve_path(instance) == expected
+            executor = solver.executor
+            assert executor is not None
+            os.kill(executor.worker_pids[0], signal.SIGKILL)
+            # The next solve reaps the dead worker inside its first wave.
+            assert solver.solve_path(instance) == expected
+            assert executor.respawn_count >= 1
+            assert executor.alive_workers == 2
+
+    def test_retry_budget_exhaustion_raises_parallel_error(self):
+        payload, tasks = _packed_chain()
+        with SliceExecutor(1, max_task_retries=0) as executor:
+            executor.set_instance(payload)
+            assert executor.run(tasks)  # warm, healthy baseline
+            os.kill(executor.worker_pids[0], signal.SIGKILL)
+            deadline = time.monotonic() + 10
+            while executor.alive_workers and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with pytest.raises(ParallelError, match="crashed its worker"):
+                executor.run(tasks)
+            executor.release_instance()
+
+    def test_run_without_instance_rejected(self):
+        with SliceExecutor(1) as executor:
+            with pytest.raises(ParallelError, match="no instance"):
+                executor.run([("components", (0, 1))])
+
+    def test_closed_solver_rejected(self):
+        solver = ParallelSolver(2, fanout="always")
+        solver.close()
+        instance = _build_instance(
+            [
+                {"atoms": 6, "cols": 4, "bad": False, "seed": 5},
+                {"atoms": 6, "cols": 4, "bad": False, "seed": 6},
+            ]
+        )
+        with pytest.raises(ParallelError):
+            solver.solve_path(instance)

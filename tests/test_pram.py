@@ -198,6 +198,67 @@ class TestParallelSolver:
         assert report.depth > 0
 
 
+def _fanout_crossing_ensemble(
+    n: int = 5000, m: int = 600, comps: int = 8, length: int = 40
+) -> Ensemble:
+    """Interval columns over ``comps`` disjoint atom ranges — large and
+    sparse enough that :func:`parallel_fanout_worthwhile` approves a
+    2-worker fan-out, so ``parallel=2`` really runs the slice executor."""
+    span = n // comps
+    columns = []
+    for j in range(m):
+        base = (j % comps) * span
+        start = base + (j * 37) % (span - length)
+        columns.append(frozenset(range(start, start + length)))
+    return Ensemble(tuple(range(n)), tuple(dict.fromkeys(columns)))
+
+
+class TestMeasuredMode:
+    def test_default_report_is_simulated(self):
+        rng = random.Random(5)
+        report = parallel_path_realization(random_c1p_ensemble(30, 20, rng).ensemble)
+        assert report.mode == "simulated"
+        assert report.workers == 0
+        assert report.measured_seconds == 0.0
+        assert report.measured_task_seconds == 0.0
+        assert report.parallel_tasks == 0
+        # the analytic PRAM columns are the payload of a simulated report
+        assert report.levels >= 1
+        assert report.depth > 0 and report.work >= report.depth
+
+    def test_small_instance_stays_simulated_under_parallel(self):
+        # parallel=2 requested, but the cost model keeps a tiny instance
+        # sequential — the honest answer is a simulated report, not a
+        # measured one with a misleading near-zero speedup.
+        rng = random.Random(6)
+        report = parallel_path_realization(
+            random_c1p_ensemble(24, 16, rng).ensemble, parallel=2
+        )
+        assert report.mode == "simulated"
+        assert report.workers == 0
+        assert report.depth > 0
+
+    def test_real_fanout_reports_measured_never_mixed(self):
+        ens = _fanout_crossing_ensemble()
+        report = parallel_path_realization(ens, parallel=2)
+        assert report.order is not None
+        assert report.mode == "measured"
+        assert report.workers == 2
+        assert report.measured_seconds > 0.0
+        assert report.measured_task_seconds > 0.0
+        assert report.parallel_tasks >= 1
+        # measured reports never carry analytic charges alongside the
+        # wall-clock numbers — the two accountings must not be summed
+        assert report.levels == 0
+        assert report.depth == 0 and report.work == 0
+        assert report.per_level == []
+        summary = report.summary()
+        assert summary["mode"] == "measured"
+        assert summary["workers"] == 2
+        assert summary["measured_seconds"] > 0.0
+        assert summary["measured_task_seconds"] > 0.0
+
+
 @given(
     n=st.integers(min_value=1, max_value=40),
     seed=st.integers(min_value=0, max_value=10_000),

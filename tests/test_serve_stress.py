@@ -224,6 +224,55 @@ class TestBackpressureAndBudget:
         with ServePool(1, max_segment_bytes=framed) as pool:
             assert pool.submit(inst).result(timeout=60)[0] is not None
 
+    def test_mid_stream_oversize_task_leaves_window_intact(self):
+        # Regression for the _submit_bundle audit: an oversize task hitting
+        # the budget mid-stream must raise without stranding an in-flight
+        # slot or a registered segment — afterwards the *full* window (here
+        # a single slot, the strictest case) must still be available.
+        small = [
+            random_c1p_ensemble(6, 4, random.Random(30 + i)).ensemble
+            for i in range(6)
+        ]
+        big = random_c1p_ensemble(300, 100, random.Random(31)).ensemble
+        corpus = small[:3] + [big] + small[3:]
+        with ServePool(1, max_segment_bytes=2048, max_inflight=1) as pool:
+            with pytest.raises(ServeError, match="segment budget"):
+                list(pool.solve_stream(corpus, ordered=True))
+            # Every slot is free again: repeated full-window batches drain
+            # without deadlock, matching serial byte-for-byte.
+            expected = [_summary_bytes(r) for r in solve_many(small)]
+            for _ in range(3):
+                again = pool.solve_many(small)
+                assert [_summary_bytes(r) for r in again] == expected
+            assert pool.max_inflight_seen <= 1
+            assert pool.alive_workers == 1
+
+    def test_oversize_bundle_frame_rejected_by_submit_bundle(self):
+        # The authoritative check is on the packed frame in _submit_bundle:
+        # entries that individually fit can overflow the budget once framed
+        # into one bundle, and must be rejected before a slot is acquired.
+        from repro.serve import wire
+
+        instances = [
+            random_c1p_ensemble(8, 6, random.Random(40 + i)).ensemble
+            for i in range(8)
+        ]
+        from repro.core.indexed import IndexedEnsemble
+
+        payloads = [
+            IndexedEnsemble.from_ensemble(e).pack_masks() for e in instances
+        ]
+        one_framed = wire.bundle_size([len(payloads[0])])
+        budget = wire.bundle_size([len(p) for p in payloads]) - 1
+        assert budget > one_framed  # each alone fits; the full bundle cannot
+        with ServePool(1, max_segment_bytes=budget, max_inflight=1) as pool:
+            # chunksize forces every entry into one bundle; the feeder's
+            # per-entry running total flushes before overflow, so the
+            # stream completes by splitting the bundle, never oversending.
+            results = pool.solve_many(instances, chunksize=len(instances))
+            assert [r.ok for r in results] == [True] * len(instances)
+            assert pool.max_inflight_seen <= 1
+
     def test_zero_max_inflight_rejected(self):
         with pytest.raises(ValueError, match="max_inflight"):
             ServePool(1, max_inflight=0)
