@@ -1,0 +1,193 @@
+"""E9 — observability overhead: tracing must be free when off, cheap when on.
+
+Standalone JSON-emitting gate (run by CI, by hand for exploration),
+mirroring ``bench_certify_overhead.py``.  It measures one solve workload
+(``--atoms 5000`` C1P instance by default) under three regimes:
+
+1. **baseline** — tracing globally disabled via
+   :func:`repro.obs.trace.set_tracing_enabled` ``(False)``: even the
+   null-tracer contextvar lookup is bypassed, so this is the
+   pre-observability cost of the solver;
+2. **disabled** — the shipped default: no tracer installed, every
+   instrumentation site pays exactly one ambient ``current_tracer()``
+   lookup and a no-op span (the zero-allocation ``NOOP_SPAN``);
+3. **enabled** — a live :class:`repro.obs.Tracer` passed via ``trace=``,
+   every phase span recorded with wall anchors and tags.
+
+The acceptance bar: the *disabled* regime (what every user pays, always)
+must stay within **5%** of the baseline — CI gates via
+``--require-max-overhead 1.05`` — and the *enabled* regime must stay
+within a generous bound (``--require-max-enabled-overhead``, default
+ungated) so a silently hot span site cannot land unnoticed.
+
+Each regime takes the **minimum of ``--repeats`` runs** (minimum, not
+mean: instrumentation overhead is a floor effect, and the min is the
+noise-robust estimator of it).
+
+Usage
+-----
+::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --atoms 5000 --repeats 5 --json obs_overhead.json
+
+    # CI smoke: disabled-mode tracing within 5% of the no-tracer baseline
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --atoms 5000 --require-max-overhead 1.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.core import path_realization
+from repro.generators import random_c1p_ensemble
+from repro.obs import Tracer, set_tracing_enabled
+
+
+def _sweep(instances, trace=None) -> float:
+    """One timed pass over every instance, in seconds."""
+    start = time.perf_counter()
+    for instance in instances:
+        if path_realization(instance, trace=trace) is None:
+            raise SystemExit("benchmark instance unexpectedly rejected")
+    return time.perf_counter() - start
+
+
+def run(atoms: int, columns: int, instances: int, repeats: int, seed: int) -> dict:
+    rng = random.Random(seed)
+    workload = [
+        random_c1p_ensemble(atoms, columns, rng, max_len=40).ensemble
+        for _ in range(instances)
+    ]
+
+    # one untimed sweep first so no regime absorbs the cold-start cost,
+    # then one sweep of *each* regime per round: machine-load drift over
+    # the run hits all three regimes alike instead of whichever regime's
+    # block it lands in.  Each regime keeps the minimum of its sweeps —
+    # overhead is a floor effect and the min is its noise-robust estimator.
+    _sweep(workload)
+    baseline_s = disabled_s = enabled_s = float("inf")
+    tracer = Tracer()
+    for _ in range(repeats):
+        # regime 1: the global kill-switch off — pre-observability cost
+        set_tracing_enabled(False)
+        try:
+            baseline_s = min(baseline_s, _sweep(workload))
+        finally:
+            set_tracing_enabled(True)
+        # regime 2: the shipped default — ambient lookup + no-op spans
+        disabled_s = min(disabled_s, _sweep(workload))
+        # regime 3: a live tracer on every solve
+        enabled_s = min(enabled_s, _sweep(workload, trace=tracer))
+    spans = len(tracer.spans())
+
+    return {
+        "workload": {
+            "atoms": atoms,
+            "columns": columns,
+            "instances": instances,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "baseline_seconds": baseline_s,
+        "disabled_seconds": disabled_s,
+        "enabled_seconds": enabled_s,
+        "disabled_overhead": disabled_s / baseline_s if baseline_s > 0 else 1.0,
+        "enabled_overhead": enabled_s / baseline_s if baseline_s > 0 else 1.0,
+        "enabled_spans_recorded": spans,
+        "enabled_spans_per_sweep": spans // repeats,
+        "enabled_seconds_per_span": (
+            (enabled_s - baseline_s) / (spans // repeats) if spans else 0.0
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--atoms", type=int, default=5000)
+    parser.add_argument("--columns", type=int, default=1500)
+    parser.add_argument("--instances", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", metavar="PATH", help="write the result record to PATH")
+    parser.add_argument(
+        "--require-max-overhead", type=float, default=None, metavar="X",
+        help="exit non-zero when disabled-mode tracing exceeds X times the "
+        "no-tracer baseline (the always-paid cost; CI uses 1.05)",
+    )
+    parser.add_argument(
+        "--require-max-enabled-overhead", type=float, default=None, metavar="X",
+        help="exit non-zero when enabled-mode tracing exceeds X times the "
+        "no-tracer baseline",
+    )
+    args = parser.parse_args(argv)
+
+    record = run(args.atoms, args.columns, args.instances, args.repeats, args.seed)
+
+    print("E9  observability overhead: solve under three tracing regimes")
+    print(f"  baseline (kill-switch off): {record['baseline_seconds']*1e3:9.2f} ms")
+    print(f"  disabled (shipped default): {record['disabled_seconds']*1e3:9.2f} ms "
+          f"({record['disabled_overhead']:.4f}x)")
+    print(f"  enabled  (live tracer):     {record['enabled_seconds']*1e3:9.2f} ms "
+          f"({record['enabled_overhead']:.4f}x, "
+          f"{record['enabled_spans_recorded']} spans)")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"  recorded -> {args.json}")
+
+    failed = False
+    if (
+        args.require_max_overhead is not None
+        and record["disabled_overhead"] > args.require_max_overhead
+    ):
+        print(
+            f"FAIL: disabled-mode overhead {record['disabled_overhead']:.4f}x "
+            f"> required {args.require_max_overhead}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if (
+        args.require_max_enabled_overhead is not None
+        and record["enabled_overhead"] > args.require_max_enabled_overhead
+    ):
+        print(
+            f"FAIL: enabled-mode overhead {record['enabled_overhead']:.4f}x "
+            f"> required {args.require_max_enabled_overhead}x",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+# ---------------------------------------------------------------------- #
+# pytest shim: keep the E9 row in the combined benchmark report
+# ---------------------------------------------------------------------- #
+def test_e9_report_row():
+    """Small-size E9 run so ``pytest benchmarks/`` prints the observability
+    table alongside E1..E8 (the full-size gate is the __main__ entry)."""
+    from benchmarks import reporting
+
+    record = run(atoms=400, columns=200, instances=2, repeats=2, seed=1)
+    lines = [
+        f"{'regime':>9} {'seconds':>9} {'overhead':>9}",
+        f"{'baseline':>9} {record['baseline_seconds']:>9.4f} {'1.0000x':>9}",
+        f"{'disabled':>9} {record['disabled_seconds']:>9.4f} "
+        f"{record['disabled_overhead']:>8.4f}x",
+        f"{'enabled':>9} {record['enabled_seconds']:>9.4f} "
+        f"{record['enabled_overhead']:>8.4f}x",
+    ]
+    reporting.register(
+        "E9  observability overhead (tracing off / default / live)", lines
+    )
+    assert record["disabled_overhead"] < 2.0  # smoke-size sanity, not the gate
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

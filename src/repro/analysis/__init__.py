@@ -15,7 +15,7 @@ Layout:
 * :mod:`repro.analysis.core` — the framework: :class:`Finding`,
   project walking, ``# repro: lint-ok[rule]`` pragma suppression and the
   committed-baseline mechanism;
-* :mod:`repro.analysis.checkers` — the five domain rules.
+* :mod:`repro.analysis.checkers` — the six domain rules.
 
 See DESIGN.md, "Invariants as lint rules", for the incident history
 behind each rule.

@@ -1,4 +1,4 @@
-"""The five domain rules of the repo-native lint pass.
+"""The six domain rules of the repo-native lint pass.
 
 Each checker is an object with a ``rule`` id, a one-line
 ``description`` and a ``check(project)`` generator of
@@ -15,6 +15,7 @@ from .differential_coverage import DifferentialCoverageChecker
 from .exception_contract import ExceptionContractChecker
 from .flag_parity import FlagParityChecker
 from .shm_lifecycle import ShmLifecycleChecker
+from .span_lifecycle import SpanLifecycleChecker
 from .spawn_safety import SpawnSafetyChecker
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "ExceptionContractChecker",
     "FlagParityChecker",
     "ShmLifecycleChecker",
+    "SpanLifecycleChecker",
     "SpawnSafetyChecker",
     "checker_for",
 ]
@@ -30,6 +32,7 @@ __all__ = [
 #: the default rule set, in the order findings are grouped for humans.
 ALL_CHECKERS = (
     ShmLifecycleChecker(),
+    SpanLifecycleChecker(),
     SpawnSafetyChecker(),
     FlagParityChecker(),
     ExceptionContractChecker(),

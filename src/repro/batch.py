@@ -45,6 +45,7 @@ from typing import Hashable, Iterable
 from .core import cycle_realization, path_realization
 from .ensemble import Ensemble
 from .errors import CertificationError
+from .obs.trace import current_tracer, use_tracer
 
 Atom = Hashable
 
@@ -271,6 +272,7 @@ def solve_many(
     certify: bool = False,
     pool=None,
     parallel: int | None = None,
+    trace=None,
 ) -> list[BatchResult]:
     """Solve every ensemble, optionally fanning work out over processes.
 
@@ -322,6 +324,13 @@ def solve_many(
         ``processes`` — they fan out on different axes (within vs. across
         instances) and composing them would oversubscribe the machine — and
         rejected by ``pool=`` (serve workers are single-process by design).
+    trace:
+        A :class:`repro.obs.Tracer` recording phase spans for the batch.
+        Honoured on the serial path (including ``parallel=``, whose
+        worker-side spans are stitched back) and through ``pool=``;
+        ``processes=`` fan-out runs untraced — a fresh
+        ``ProcessPoolExecutor`` has no result channel for span records,
+        unlike the pool's and the slice executor's single-writer pipes.
 
     Returns
     -------
@@ -347,6 +356,7 @@ def solve_many(
             split_components=split_components,
             certify=certify,
             parallel=parallel,
+            trace=trace,
         )
     instances = list(ensembles)
     split = _split_mode(split_components, circular)
@@ -363,9 +373,11 @@ def solve_many(
 
     workers = _resolve_workers(processes, max(1, len(tasks)))
     executor = ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
+    tracer = trace if trace is not None else current_tracer()
     try:
         if executor is None:
-            outcomes = _solve_serial(tasks, parallel)
+            with use_tracer(tracer):
+                outcomes = _solve_serial(tasks, parallel)
         else:
             chunksize = max(1, len(tasks) // (workers * 4))
             outcomes = list(executor.map(_solve_task, tasks, chunksize=chunksize))
@@ -399,17 +411,21 @@ def solve_many(
             )
 
         if certify:
-            _attach_certificates(
-                results,
-                instances,
-                subs_per_instance,
-                orders,
-                circular,
-                kernel,
-                engine,
-                executor,
-                workers,
-            )
+            # The serial extraction path reads the ambient tracer;
+            # executor-dispatched extractions run in other processes and
+            # stay untraced (no result channel carries spans back).
+            with use_tracer(tracer):
+                _attach_certificates(
+                    results,
+                    instances,
+                    subs_per_instance,
+                    orders,
+                    circular,
+                    kernel,
+                    engine,
+                    executor,
+                    workers,
+                )
     finally:
         if executor is not None:
             executor.shutdown()

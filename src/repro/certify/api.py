@@ -22,6 +22,7 @@ from typing import Hashable
 from ..core.instrument import SolverStats
 from ..core.solver import cycle_realization, path_realization
 from ..ensemble import Ensemble
+from ..obs.trace import Tracer, current_tracer, use_tracer
 from .certificates import CertifiedResult, OrderCertificate
 from .witness import ExtractionStats, extract_tucker_witness
 
@@ -42,6 +43,7 @@ def certified_path_realization(
     kernel: str = "indexed",
     engine: str | None = None,
     parallel: int | None = None,
+    trace: Tracer | None = None,
     extraction_stats: ExtractionStats | None = None,
 ) -> CertifiedResult:
     """Decide the consecutive-ones property with a certificate either way.
@@ -50,17 +52,22 @@ def certified_path_realization(
     (:mod:`repro.parallel`); witness extraction stays sequential — its
     narrowing re-solves run on shrunken instances below any sensible
     fan-out cutoff — so certificates are bytewise independent of N.
+    ``trace=`` records phase spans (including ``certify.narrow`` around
+    the extraction) exactly as in :func:`repro.core.path_realization`.
     """
     order = path_realization(
-        ensemble, stats, kernel=kernel, engine=engine, parallel=parallel
+        ensemble, stats, kernel=kernel, engine=engine, parallel=parallel,
+        trace=trace,
     )
     if order is not None:
         layout = tuple(order)
         return CertifiedResult(layout, OrderCertificate("consecutive", layout))
-    witness = extract_tucker_witness(
-        ensemble, kernel=kernel, engine=engine, stats=extraction_stats,
-        assume_rejected=True,
-    )
+    tracer = trace if trace is not None else current_tracer()
+    with use_tracer(tracer):
+        witness = extract_tucker_witness(
+            ensemble, kernel=kernel, engine=engine, stats=extraction_stats,
+            assume_rejected=True,
+        )
     return CertifiedResult(None, witness)
 
 
@@ -71,22 +78,27 @@ def certified_cycle_realization(
     kernel: str = "indexed",
     engine: str | None = None,
     parallel: int | None = None,
+    trace: Tracer | None = None,
     extraction_stats: ExtractionStats | None = None,
 ) -> CertifiedResult:
     """Decide the circular-ones property with a certificate either way.
 
-    ``parallel`` behaves as in :func:`certified_path_realization`.
+    ``parallel`` and ``trace`` behave as in
+    :func:`certified_path_realization`.
     """
     order = cycle_realization(
-        ensemble, stats, kernel=kernel, engine=engine, parallel=parallel
+        ensemble, stats, kernel=kernel, engine=engine, parallel=parallel,
+        trace=trace,
     )
     if order is not None:
         layout = tuple(order)
         return CertifiedResult(layout, OrderCertificate("circular", layout))
-    witness = extract_tucker_witness(
-        ensemble, kernel=kernel, engine=engine, circular=True,
-        stats=extraction_stats, assume_rejected=True,
-    )
+    tracer = trace if trace is not None else current_tracer()
+    with use_tracer(tracer):
+        witness = extract_tucker_witness(
+            ensemble, kernel=kernel, engine=engine, circular=True,
+            stats=extraction_stats, assume_rejected=True,
+        )
     return CertifiedResult(None, witness)
 
 

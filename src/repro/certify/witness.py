@@ -41,6 +41,7 @@ from typing import Callable, Hashable, Sequence
 from ..core.solver import path_realization
 from ..ensemble import Ensemble
 from ..errors import CertificationError
+from ..obs.trace import current_tracer
 from .certificates import TuckerWitness, canonical_rows
 from .checker import violation_ensemble
 
@@ -355,6 +356,34 @@ def extract_tucker_witness(
     independent checker before being handed back, so a successful return is
     a machine-checked proof of rejection.
     """
+    tracer = current_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "certify.narrow",
+            n=ensemble.num_atoms,
+            m=ensemble.num_columns,
+            p=ensemble.total_size,
+            circular=circular,
+        ):
+            return _extract_impl(
+                ensemble, kernel=kernel, engine=engine, circular=circular,
+                stats=stats, assume_rejected=assume_rejected,
+            )
+    return _extract_impl(
+        ensemble, kernel=kernel, engine=engine, circular=circular,
+        stats=stats, assume_rejected=assume_rejected,
+    )
+
+
+def _extract_impl(
+    ensemble: Ensemble,
+    *,
+    kernel: str,
+    engine: str | None,
+    circular: bool,
+    stats: ExtractionStats | None,
+    assume_rejected: bool,
+) -> TuckerWitness:
     atoms = tuple(ensemble.atoms)
     if circular:
         if not atoms:

@@ -13,10 +13,14 @@ by the independent checker).  ``--certify`` on the plain, batch and serve
 modes attaches the same certificates inline.  The ``lint`` subcommand runs
 the repo-native static-analysis pass (:mod:`repro.analysis`) that enforces
 the codebase's concurrency and contract invariants — shared-memory
-lifecycle, spawn safety, solver-flag parity, the exception contract and
-differential coverage of fast paths — against a committed baseline of
-justified exceptions; ``--strict`` makes any non-baselined finding fail
-the run (the CI gate).
+lifecycle, span lifecycle, spawn safety, solver-flag parity, the exception
+contract and differential coverage of fast paths — against a committed
+baseline of justified exceptions; ``--strict`` makes any non-baselined
+finding fail the run (the CI gate).  The ``trace`` subcommand runs an
+instrumented certified solve through both process pools and writes the
+stitched trace, metrics snapshot and cost-model calibration report
+(:mod:`repro.obs`); ``--trace FILE`` on the plain, batch and serve modes
+dumps a JSON-lines trace of that run.
 
 Examples
 --------
@@ -33,12 +37,15 @@ Examples
     echo '{"id": 7, "matrix": [[1,1,0],[0,1,1]]}' | python -m repro serve -
     python -m repro lint --strict                  # the CI invariant gate
     python -m repro lint --format github           # findings as annotations
+    python -m repro trace --demo --out trace.jsonl --calibration calib.json
+    python -m repro matrix.csv --parallel 2 --trace trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -56,6 +63,7 @@ __all__ = [
     "certify_main",
     "serve_main",
     "lint_main",
+    "trace_main",
     "parse_matrix_text",
     "parse_instance_line",
 ]
@@ -100,9 +108,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "over a process pool, 'repro serve FILE' to stream JSON-line "
         "instances through a persistent shared-memory worker pool, or "
         "'repro certify FILE' for a standalone certificate report, or "
-        "'repro lint' for the repo-native invariant lint pass (see "
-        "their --help). A matrix file literally named 'batch', 'serve', "
-        "'certify' or 'lint' can be solved as './batch'.",
+        "'repro lint' for the repo-native invariant lint pass, or "
+        "'repro trace' for an instrumented solve with a cost-model "
+        "calibration report (see their --help). A matrix file literally "
+        "named 'batch', 'serve', 'certify', 'lint' or 'trace' can be "
+        "solved as './batch'.",
     )
     parser.add_argument("matrix", nargs="?", help="path to the matrix file ('-' for stdin)")
     parser.add_argument("--demo", action="store_true", help="run on a built-in example matrix")
@@ -135,6 +145,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="solve this one instance with N real worker processes over "
         "shared-memory slices (repro.parallel); small or connected "
         "instances fall back to the serial kernel automatically",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a span trace of the solve (including worker-side spans "
+        "stitched back from any parallel fan-out) and write it to FILE as "
+        "JSON lines",
     )
     parser.add_argument("--quiet", action="store_true", help="print only the order (or NO)")
     return parser
@@ -178,6 +196,14 @@ def _build_batch_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quiet", action="store_true", help="print only per-file results")
     parser.add_argument(
         "--json", metavar="PATH", help="also write per-instance results and timings to PATH"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a span trace of the batch (serial and parallel= paths; "
+        "the processes= fan-out runs untraced) and write it to FILE as "
+        "JSON lines",
     )
     return parser
 
@@ -279,6 +305,88 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the closing stats line (stderr)"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a span trace of the stream (dispatch spans plus "
+        "worker-side spans stitched back over the result pipes) and "
+        "write it to FILE as JSON lines",
+    )
+    return parser
+
+
+def _build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run an instrumented, certified solve through both "
+        "process pools (a repro.parallel shared-memory fan-out and a "
+        "repro.serve persistent pool) with tracing on, then write the "
+        "stitched span trace and join it against the repro.pram.costmodel "
+        "analytic charges.  The calibration report keeps measured seconds "
+        "and analytic work units strictly apart — only the labelled "
+        "seconds-per-unit ratio relates them.",
+    )
+    parser.add_argument(
+        "matrix",
+        nargs="?",
+        help="path to a matrix file ('-' for stdin; default: built-in demo)",
+    )
+    parser.add_argument(
+        "--demo", action="store_true", help="trace the built-in demo workload"
+    )
+    parser.add_argument(
+        "--circular", action="store_true", help="test the circular-ones property instead"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="Tutte decomposition engine for the combine step",
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=2,
+        metavar="N",
+        help="workers in the shared-memory slice fan-out (default: 2)",
+    )
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=2,
+        metavar="N",
+        help="workers in the persistent serve pool leg (default: 2)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default="trace.jsonl",
+        help="span trace output, JSON lines (default: trace.jsonl)",
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="FILE",
+        default=None,
+        help="also write the trace in Chrome trace-event format "
+        "(viewable in chrome://tracing / Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write the pools' metrics snapshots (queue depth, "
+        "backpressure wait, utilization, respawns, dispatch bytes) to FILE",
+    )
+    parser.add_argument(
+        "--calibration",
+        metavar="FILE",
+        default=None,
+        help="write the cost-model calibration report to FILE as JSON",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the artifact paths"
+    )
     return parser
 
 
@@ -287,6 +395,7 @@ def _build_lint_parser() -> argparse.ArgumentParser:
         prog="repro lint",
         description="Run the repo-native static-analysis pass over a source "
         "tree: shm-lifecycle (segments closed/unlinked on every path), "
+        "span-lifecycle (begun trace spans ended/aborted on every path), "
         "spawn-safety (worker payloads picklable by construction), "
         "flag-parity (kernel/engine/certify/circular kwargs forwarded "
         "through every public layer), exception-contract (typed errors, no "
@@ -306,7 +415,7 @@ def _build_lint_parser() -> argparse.ArgumentParser:
         "--rules",
         metavar="RULE[,RULE...]",
         default=None,
-        help="run only these rule ids (default: all five)",
+        help="run only these rule ids (default: all six)",
     )
     parser.add_argument(
         "--baseline",
@@ -334,6 +443,125 @@ def _build_lint_parser() -> argparse.ArgumentParser:
         "gate); without it the run only reports",
     )
     return parser
+
+
+#: planted Tucker obstruction for the trace demo's certification leg.
+_DEMO_REJECT = """\
+1 1 0 0 0 0
+0 1 1 0 0 0
+1 0 1 0 0 0
+0 0 0 1 1 0
+1 0 0 1 0 0
+"""
+
+
+def trace_main(argv: Sequence[str]) -> int:
+    """Entry point of ``python -m repro trace``."""
+    from .obs import Tracer, calibrate, use_tracer
+    from .obs.export import (
+        write_chrome_trace,
+        write_metrics_snapshot,
+        write_trace_jsonl,
+    )
+    from .parallel import ParallelSolver
+    from .serve import ServePool
+
+    parser = _build_trace_parser()
+    args = parser.parse_args(argv)
+    if args.parallel < 1:
+        parser.error(f"--parallel must be >= 1, got {args.parallel}")
+    if args.pool < 1:
+        parser.error(f"--pool must be >= 1, got {args.pool}")
+
+    if args.matrix in (None, "-") and not args.demo and sys.stdin.isatty():
+        args.demo = True  # bare `repro trace` at a terminal means the demo
+    if args.demo or args.matrix is None:
+        # Two disjoint blocks: multi-component by construction, so the
+        # fan-out genuinely dispatches slices to worker processes.
+        rows = [[0] * 24 for _ in range(16)]
+        for i, base in enumerate((0, 12)):
+            for k in range(8):
+                for bit in (base + k, base + k + 1, base + k + 2):
+                    rows[8 * i + k][bit] = 1
+        matrix = BinaryMatrix(rows)
+    elif args.matrix == "-":
+        matrix = BinaryMatrix(parse_matrix_text(sys.stdin.read()))
+    else:
+        with open(args.matrix, "r", encoding="utf-8") as handle:
+            matrix = BinaryMatrix(parse_matrix_text(handle.read()))
+    ensemble = matrix.row_ensemble()
+    reject = BinaryMatrix(parse_matrix_text(_DEMO_REJECT)).row_ensemble()
+
+    tracer = Tracer()
+    start = time.perf_counter()
+    with use_tracer(tracer):
+        # Leg 1: certified solve with the shared-memory slice fan-out.
+        # fanout="always" bypasses the cost-model veto so the trace always
+        # contains worker-side SliceExecutor spans.
+        with ParallelSolver(args.parallel, fanout="always") as solver:
+            solve = solver.solve_cycle if args.circular else solver.solve_path
+            order = solve(ensemble, engine=args.engine)
+            parallel_metrics = (
+                solver.executor.metrics.snapshot()
+                if solver.executor is not None
+                else {}
+            )
+        # Leg 2: certification — the accepting instance's narrow never
+        # fires, so a planted obstruction exercises certify.narrow too.
+        solve_fn = cycle_realization if args.circular else path_realization
+        certified = solve_fn(ensemble, engine=args.engine, certify=True)
+        solve_fn(reject, engine=args.engine, certify=True)
+        # Leg 3: the persistent serve pool, worker spans stitched back
+        # over the result pipes.
+        with ServePool(args.pool) as pool:
+            pool.solve_many(
+                [ensemble, reject],
+                circular=args.circular,
+                engine=args.engine,
+                certify=True,
+                trace=tracer,
+            )
+            serve_metrics = pool.metrics_snapshot()
+    elapsed = time.perf_counter() - start
+
+    if order != (None if certified.order is None else list(certified.order)):
+        print("repro trace: parallel and serial orders disagree", file=sys.stderr)
+        return 2
+
+    spans = tracer.spans()
+    span_count = write_trace_jsonl(tracer, args.out)
+    artifacts = [args.out]
+    if args.chrome:
+        write_chrome_trace(tracer, args.chrome)
+        artifacts.append(args.chrome)
+    if args.metrics:
+        write_metrics_snapshot(
+            {"parallel": parallel_metrics, "serve": serve_metrics}, args.metrics
+        )
+        artifacts.append(args.metrics)
+    report = calibrate(tracer.records())
+    if args.calibration:
+        report.write(args.calibration)
+        artifacts.append(args.calibration)
+
+    if args.quiet:
+        for path in artifacts:
+            print(path)
+        return 0
+
+    parent = {s.pid for s in spans if s.pid == os.getpid()}
+    workers = {s.pid for s in spans} - parent
+    verdict = "realizable" if order is not None else "not realizable"
+    print(
+        f"traced a certified solve ({verdict}) through {args.parallel} slice "
+        f"worker(s) and a {args.pool}-worker serve pool in {elapsed:.3f}s"
+    )
+    print(
+        f"{span_count} spans ({sum(1 for s in spans if s.pid != os.getpid())} "
+        f"worker-side from {len(workers)} worker process(es)) -> {args.out}"
+    )
+    print(report.render())
+    return 0
 
 
 def lint_main(argv: Sequence[str]) -> int:
@@ -472,6 +700,11 @@ def serve_main(argv: Sequence[str]) -> int:
             ids.append(instance_id)
             yield matrix.column_ensemble() if args.columns else matrix.row_ensemble()
 
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
     start = time.perf_counter()
     solved = 0
     try:
@@ -483,6 +716,7 @@ def serve_main(argv: Sequence[str]) -> int:
                 engine=args.engine,
                 certify=args.certify,
                 ordered=not args.unordered,
+                trace=tracer,
             )
             for result in stream:
                 solved += result.ok
@@ -492,6 +726,10 @@ def serve_main(argv: Sequence[str]) -> int:
         if handle is not sys.stdin:
             handle.close()
     elapsed = time.perf_counter() - start
+    if tracer is not None:
+        from .obs.export import write_trace_jsonl
+
+        write_trace_jsonl(tracer, args.trace)
 
     if not args.quiet:
         rate = len(ids) / elapsed if elapsed > 0 else float("inf")
@@ -515,6 +753,11 @@ def batch_main(argv: Sequence[str]) -> int:
             matrix = BinaryMatrix(parse_matrix_text(handle.read()))
         ensembles.append(matrix.column_ensemble() if args.columns else matrix.row_ensemble())
 
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
     start = time.perf_counter()
     results = solve_many(
         ensembles,
@@ -522,8 +765,13 @@ def batch_main(argv: Sequence[str]) -> int:
         processes=args.processes,
         engine=args.engine,
         certify=args.certify,
+        trace=tracer,
     )
     elapsed = time.perf_counter() - start
+    if tracer is not None:
+        from .obs.export import write_trace_jsonl
+
+        write_trace_jsonl(tracer, args.trace)
 
     for path, result in zip(args.matrices, results):
         if result.order is None:
@@ -622,6 +870,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return serve_main(list(argv[1:]))
     if argv and argv[0] == "lint":
         return lint_main(list(argv[1:]))
+    if argv and argv[0] == "trace":
+        return trace_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     if args.demo:
         text = _DEMO
@@ -634,14 +884,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     matrix = BinaryMatrix(parse_matrix_text(text))
     ensemble = matrix.column_ensemble() if args.columns else matrix.row_ensemble()
     solve = cycle_realization if args.circular else path_realization
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
     if args.certify:
         result = solve(
-            ensemble, engine=args.engine, certify=True, parallel=args.parallel
+            ensemble,
+            engine=args.engine,
+            certify=True,
+            parallel=args.parallel,
+            trace=tracer,
         )
         order = None if result.order is None else list(result.order)
     else:
         result = None
-        order = solve(ensemble, engine=args.engine, parallel=args.parallel)
+        order = solve(
+            ensemble, engine=args.engine, parallel=args.parallel, trace=tracer
+        )
+    if tracer is not None:
+        from .obs.export import write_trace_jsonl
+
+        write_trace_jsonl(tracer, args.trace)
 
     if order is None:
         print("NO" if args.quiet else "The matrix does NOT have the requested property.")

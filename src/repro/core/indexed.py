@@ -46,6 +46,7 @@ from .bitset import (
 from .instrument import SolverStats
 from .merge import cheap_path_splice, merge_cycle_masks, merge_path
 from .partition import choose_partition_masks
+from ..obs.trace import current_tracer
 
 Atom = Hashable
 
@@ -660,7 +661,16 @@ def solve_path_indexed(
 ) -> list[int] | None:
     """A consecutive-ones layout as atom indices, or ``None``."""
     ctx = _KernelContext(stats, indexed.num_atoms, engine)
-    return _path_rec(indexed.universe_mask, list(indexed.masks), ctx, 0)
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _path_rec(indexed.universe_mask, list(indexed.masks), ctx, 0)
+    with tracer.span(
+        "solve.path",
+        n=indexed.num_atoms,
+        m=indexed.num_columns,
+        p=indexed.total_size,
+    ):
+        return _path_rec(indexed.universe_mask, list(indexed.masks), ctx, 0)
 
 
 def solve_cycle_indexed(
@@ -671,4 +681,13 @@ def solve_cycle_indexed(
 ) -> list[int] | None:
     """A circular-ones layout as atom indices, or ``None``."""
     ctx = _KernelContext(stats, indexed.num_atoms, engine)
-    return _cycle_rec(indexed.universe_mask, list(indexed.masks), ctx, 0)
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _cycle_rec(indexed.universe_mask, list(indexed.masks), ctx, 0)
+    with tracer.span(
+        "solve.cycle",
+        n=indexed.num_atoms,
+        m=indexed.num_columns,
+        p=indexed.total_size,
+    ):
+        return _cycle_rec(indexed.universe_mask, list(indexed.masks), ctx, 0)

@@ -91,6 +91,7 @@ class SolverStats:
             "execution": self.execution,
             "parallel_workers": self.parallel_workers,
             "parallel_tasks": self.parallel_tasks,
+            "parallel_task_seconds": self.parallel_task_seconds,
             "max_depth": self.max_depth,
             "subproblems": self.subproblems,
             "case_counts": dict(self.case_counts),

@@ -32,6 +32,7 @@ from ..whitney.alignment import AlignmentPlanner
 from .bitset import all_circular_consecutive, all_consecutive, mask_from_indices, mask_to_indices
 from .gp import RealizationGraph, is_prefix_or_suffix
 from .instrument import SolverStats
+from ..obs.trace import current_tracer
 
 Atom = Hashable
 
@@ -330,6 +331,27 @@ def merge_path(
     under switches, so one valid pair suffices), and every candidate splice is
     verified against the crossing columns before being returned.
     """
+    tracer = current_tracer()
+    if tracer.enabled:
+        with tracer.span("merge.verify", p=sum(len(c) for c in columns)):
+            return _merge_path_impl(
+                order1, order2_augmented, split_atom, columns,
+                stats=stats, engine=engine,
+            )
+    return _merge_path_impl(
+        order1, order2_augmented, split_atom, columns, stats=stats, engine=engine
+    )
+
+
+def _merge_path_impl(
+    order1: Sequence[Atom],
+    order2_augmented: Sequence[Atom],
+    split_atom: Atom,
+    columns: Sequence[frozenset],
+    *,
+    stats: SolverStats | None = None,
+    engine: str | None = None,
+) -> list[Atom] | None:
     order2_augmented = list(order2_augmented)
     w = order2_augmented.index(split_atom)
     order2 = [a for a in order2_augmented if a != split_atom]
@@ -402,6 +424,23 @@ def merge_cycle(
     read around a cycle.  Crossing columns must be anchored at the ends of
     both paths, which the Section 4.2.1 machinery provides.
     """
+    tracer = current_tracer()
+    if tracer.enabled:
+        with tracer.span("merge.verify", p=sum(len(c) for c in columns)):
+            return _merge_cycle_impl(
+                order1, order2, columns, stats=stats, engine=engine
+            )
+    return _merge_cycle_impl(order1, order2, columns, stats=stats, engine=engine)
+
+
+def _merge_cycle_impl(
+    order1: Sequence[Atom],
+    order2: Sequence[Atom],
+    columns: Sequence[frozenset],
+    *,
+    stats: SolverStats | None = None,
+    engine: str | None = None,
+) -> list[Atom] | None:
     a1 = set(order1)
     a2 = set(order2)
     crossing = [c for c in columns if (c & a1) and (c & a2)]
@@ -484,6 +523,29 @@ def merge_path_masks(
     engine: str | None = None,
 ) -> list[int] | None:
     """Mask version of :func:`merge_path`: integer atoms, bitmask columns."""
+    tracer = current_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "merge.verify", p=sum(c.bit_count() for c in columns)
+        ):
+            return _merge_path_masks_impl(
+                order1, order2_augmented, split_index, columns,
+                stats=stats, engine=engine,
+            )
+    return _merge_path_masks_impl(
+        order1, order2_augmented, split_index, columns, stats=stats, engine=engine
+    )
+
+
+def _merge_path_masks_impl(
+    order1: Sequence[int],
+    order2_augmented: Sequence[int],
+    split_index: int,
+    columns: Sequence[int],
+    *,
+    stats: SolverStats | None = None,
+    engine: str | None = None,
+) -> list[int] | None:
     order2_augmented = list(order2_augmented)
     w = order2_augmented.index(split_index)
     order2 = order2_augmented[:w] + order2_augmented[w + 1 :]
@@ -514,6 +576,27 @@ def merge_cycle_masks(
     engine: str | None = None,
 ) -> list[int] | None:
     """Mask version of :func:`merge_cycle`: integer atoms, bitmask columns."""
+    tracer = current_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "merge.verify", p=sum(c.bit_count() for c in columns)
+        ):
+            return _merge_cycle_masks_impl(
+                order1, order2, columns, stats=stats, engine=engine
+            )
+    return _merge_cycle_masks_impl(
+        order1, order2, columns, stats=stats, engine=engine
+    )
+
+
+def _merge_cycle_masks_impl(
+    order1: Sequence[int],
+    order2: Sequence[int],
+    columns: Sequence[int],
+    *,
+    stats: SolverStats | None = None,
+    engine: str | None = None,
+) -> list[int] | None:
     a1 = mask_from_indices(order1)
     a2 = mask_from_indices(order2)
     crossing = [c for c in columns if (c & a1) and (c & a2)]

@@ -49,6 +49,7 @@ from ..ensemble import (
 from .instrument import SolverStats
 from .merge import merge_cycle, merge_path
 from .partition import choose_partition
+from ..obs.trace import Tracer, current_tracer, use_tracer
 
 Atom = Hashable
 
@@ -135,6 +136,7 @@ def path_realization(
     engine: str | None = None,
     certify: bool = False,
     parallel: int | None = None,
+    trace: Tracer | None = None,
 ) -> list[Atom] | None:
     """A consecutive-ones layout of ``ensemble``, or ``None`` if none exists.
 
@@ -150,6 +152,13 @@ def path_realization(
     cost-model cutoff, and ``kernel="reference"`` always runs serially
     (the reference recursion's frozenset iteration order is not stable
     across process boundaries — see DESIGN.md, Substitution 7).
+
+    ``trace=`` installs a :class:`repro.obs.Tracer` as the ambient tracer
+    for the solve: phase spans (``solve.path``, ``tutte.build``,
+    ``merge.verify``, …) are recorded into it, including worker-side
+    spans stitched back from parallel executions.  ``None`` (the
+    default) inherits whatever tracer :func:`repro.obs.use_tracer` has
+    installed — usually none, which costs nothing.
     """
     _check_kernel(kernel)
     _resolve_engine(engine)
@@ -158,18 +167,23 @@ def path_realization(
         from ..certify.api import certified_path_realization
 
         return certified_path_realization(
-            ensemble, stats, kernel=kernel, engine=engine, parallel=parallel
+            ensemble, stats, kernel=kernel, engine=engine, parallel=parallel,
+            trace=trace,
         )
-    if parallel is not None and parallel > 1 and kernel == "indexed":
-        from ..parallel.solver import ParallelSolver
+    tracer = trace if trace is not None else current_tracer()
+    with use_tracer(tracer):
+        if parallel is not None and parallel > 1 and kernel == "indexed":
+            from ..parallel.solver import ParallelSolver
 
-        with ParallelSolver(parallel) as solver:
-            return solver.solve_path(ensemble, stats, engine=engine)
-    if kernel == "indexed":
-        from .indexed import IndexedEnsemble
+            with ParallelSolver(parallel) as solver:
+                return solver.solve_path(ensemble, stats, engine=engine)
+        if kernel == "indexed":
+            from .indexed import IndexedEnsemble
 
-        return IndexedEnsemble.from_ensemble(ensemble).solve_path(stats, engine=engine)
-    return _path_realization_reference(ensemble, stats, engine=engine)
+            return IndexedEnsemble.from_ensemble(ensemble).solve_path(
+                stats, engine=engine
+            )
+        return _path_realization_reference(ensemble, stats, engine=engine)
 
 
 def _path_realization_reference(
@@ -292,6 +306,7 @@ def cycle_realization(
     engine: str | None = None,
     certify: bool = False,
     parallel: int | None = None,
+    trace: Tracer | None = None,
 ) -> list[Atom] | None:
     """A circular-ones layout of ``ensemble``, or ``None`` if none exists.
 
@@ -301,7 +316,8 @@ def cycle_realization(
 
     ``parallel=N`` fans the post-normalisation components out across real
     worker processes exactly as in :func:`path_realization`; the same
-    serial fallbacks apply.
+    serial fallbacks apply.  ``trace=`` installs an ambient
+    :class:`repro.obs.Tracer` exactly as in :func:`path_realization`.
     """
     _check_kernel(kernel)
     _resolve_engine(engine)
@@ -310,18 +326,23 @@ def cycle_realization(
         from ..certify.api import certified_cycle_realization
 
         return certified_cycle_realization(
-            ensemble, stats, kernel=kernel, engine=engine, parallel=parallel
+            ensemble, stats, kernel=kernel, engine=engine, parallel=parallel,
+            trace=trace,
         )
-    if parallel is not None and parallel > 1 and kernel == "indexed":
-        from ..parallel.solver import ParallelSolver
+    tracer = trace if trace is not None else current_tracer()
+    with use_tracer(tracer):
+        if parallel is not None and parallel > 1 and kernel == "indexed":
+            from ..parallel.solver import ParallelSolver
 
-        with ParallelSolver(parallel) as solver:
-            return solver.solve_cycle(ensemble, stats, engine=engine)
-    if kernel == "indexed":
-        from .indexed import IndexedEnsemble
+            with ParallelSolver(parallel) as solver:
+                return solver.solve_cycle(ensemble, stats, engine=engine)
+        if kernel == "indexed":
+            from .indexed import IndexedEnsemble
 
-        return IndexedEnsemble.from_ensemble(ensemble).solve_cycle(stats, engine=engine)
-    return _cycle_realization_reference(ensemble, stats, engine=engine)
+            return IndexedEnsemble.from_ensemble(ensemble).solve_cycle(
+                stats, engine=engine
+            )
+        return _cycle_realization_reference(ensemble, stats, engine=engine)
 
 
 def _cycle_realization_reference(
@@ -418,10 +439,12 @@ def find_consecutive_ones_order(
     engine: str | None = None,
     certify: bool = False,
     parallel: int | None = None,
+    trace: Tracer | None = None,
 ) -> list[Atom] | None:
     """Alias of :func:`path_realization` (kept for API symmetry)."""
     return path_realization(
-        ensemble, stats, kernel=kernel, engine=engine, certify=certify, parallel=parallel
+        ensemble, stats, kernel=kernel, engine=engine, certify=certify,
+        parallel=parallel, trace=trace,
     )
 
 
@@ -433,10 +456,12 @@ def find_circular_ones_order(
     engine: str | None = None,
     certify: bool = False,
     parallel: int | None = None,
+    trace: Tracer | None = None,
 ) -> list[Atom] | None:
     """Alias of :func:`cycle_realization`."""
     return cycle_realization(
-        ensemble, stats, kernel=kernel, engine=engine, certify=certify, parallel=parallel
+        ensemble, stats, kernel=kernel, engine=engine, certify=certify,
+        parallel=parallel, trace=trace,
     )
 
 

@@ -1,0 +1,84 @@
+"""Observability substrate: tracing, metrics, export, calibration.
+
+The package is stdlib-only and deliberately layered so the hot path
+never pays for features it does not use:
+
+* :mod:`repro.obs.trace` — contextvar-based :class:`Tracer` with
+  nestable :class:`Span`\\ s, a zero-allocation no-op tracer when
+  disabled, and cross-process span stitching (worker-side spans ride
+  the existing result pipes back to the parent trace);
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms (p50/p95/p99) behind a :class:`MetricsRegistry`;
+* :mod:`repro.obs.export` — JSON-lines trace dump, Chrome trace-event
+  format (``chrome://tracing`` viewable) and metrics snapshots;
+* :mod:`repro.obs.calibrate` — joins :mod:`repro.pram.costmodel`
+  analytic charges against measured span durations per phase
+  (DESIGN.md, Substitution 8: the analytic and measured numbers are
+  never mixed — only the explicit, labelled ratio relates them).
+"""
+
+from __future__ import annotations
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    NOOP_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracing_enabled,
+    use_tracer,
+)
+from .export import (
+    as_records,
+    chrome_trace,
+    read_trace_jsonl,
+    write_chrome_trace,
+    write_metrics_snapshot,
+    write_trace_jsonl,
+)
+_CALIBRATE_NAMES = ("CalibrationReport", "CalibrationRow", "calibrate")
+
+
+def __getattr__(name: str):
+    # Lazy on purpose: calibrate imports repro.pram.costmodel, whose
+    # package pulls the solver back in.  Core modules import
+    # repro.obs.trace during their own initialisation, which runs this
+    # __init__ — an eager calibrate import here would close that cycle.
+    if name in _CALIBRATE_NAMES:
+        from .calibrate import CalibrationReport, CalibrationRow, calibrate
+
+        values = {
+            "CalibrationReport": CalibrationReport,
+            "CalibrationRow": CalibrationRow,
+            "calibrate": calibrate,
+        }
+        globals().update(values)
+        return values[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CalibrationReport",
+    "CalibrationRow",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "as_records",
+    "calibrate",
+    "chrome_trace",
+    "current_tracer",
+    "read_trace_jsonl",
+    "set_tracing_enabled",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,117 @@
+"""Trace and metrics export: JSON lines, Chrome trace events, snapshots.
+
+Three consumers, three formats:
+
+* **JSON lines** — one span record per line, append-friendly, the
+  round-trip format (``read_trace_jsonl`` inverts ``write_trace_jsonl``
+  exactly);
+* **Chrome trace-event JSON** — load the file in ``chrome://tracing``
+  (or Perfetto) to see the stitched multi-process timeline; spans map
+  to complete (``"ph": "X"``) events with the worker pid as both
+  ``pid`` and ``tid``, so each process gets its own track;
+* **metrics snapshot** — one JSON object from
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+__all__ = [
+    "as_records",
+    "chrome_trace",
+    "read_trace_jsonl",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+    "write_trace_jsonl",
+]
+
+
+def as_records(source: Any) -> list[dict[str, Any]]:
+    """Normalize a trace source to a list of span record dicts.
+
+    Accepts a :class:`~repro.obs.trace.Tracer` (anything with a
+    ``records()`` method), an iterable of :class:`Span`-like objects
+    (anything with ``to_record()``), or an iterable of record dicts.
+    """
+    records = getattr(source, "records", None)
+    if callable(records):
+        return records()
+    out: list[dict[str, Any]] = []
+    for item in source:
+        if isinstance(item, dict):
+            out.append(item)
+        else:
+            out.append(item.to_record())
+    return out
+
+
+def write_trace_jsonl(source: Any, path: str) -> int:
+    """Write one span record per line; returns the span count."""
+    records = as_records(source)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return len(records)
+
+
+def read_trace_jsonl(path: str) -> list[dict[str, Any]]:
+    """Read span records back from a JSON-lines trace dump."""
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def chrome_trace(source: Any) -> dict[str, Any]:
+    """Render span records as a Chrome trace-event document.
+
+    Wall-clock start times become microsecond ``ts`` values (the only
+    cross-process-comparable clock we record) and monotonic durations
+    become ``dur``; an open/aborted span with no duration renders as a
+    zero-width marker rather than being dropped.
+    """
+    events = []
+    for record in as_records(source):
+        duration = record.get("duration")
+        args = {
+            "span_id": record["span_id"],
+            "parent_id": record["parent_id"],
+            "status": record["status"],
+        }
+        args.update(record.get("tags") or {})
+        events.append(
+            {
+                "name": record["name"],
+                "cat": record["status"],
+                "ph": "X",
+                "ts": record["start_wall"] * 1e6,
+                "dur": (duration or 0.0) * 1e6,
+                "pid": record.get("pid", 0),
+                "tid": record.get("pid", 0),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source: Any, path: str) -> int:
+    """Write the Chrome trace-event document; returns the event count."""
+    document = chrome_trace(source)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return len(document["traceEvents"])
+
+
+def write_metrics_snapshot(snapshot: Any, path: str) -> None:
+    """Write a metrics snapshot (or a registry) as one JSON object."""
+    taker = getattr(snapshot, "snapshot", None)
+    if callable(taker):
+        snapshot = taker()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)

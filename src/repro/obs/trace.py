@@ -1,0 +1,335 @@
+"""Contextvar-based tracing with cross-process span stitching.
+
+A :class:`Tracer` records nestable :class:`Span`\\ s.  The *ambient*
+tracer is carried in a :mod:`contextvars` variable so deep solver layers
+(kernels, merges, witness narrowing) never need a ``trace=`` parameter:
+public entry points install the tracer with :func:`use_tracer` and
+everything below reads :func:`current_tracer`.  When no tracer is
+installed — the default — :data:`NULL_TRACER` is returned and every
+operation degenerates to returning the shared, immutable
+:data:`NOOP_SPAN` singleton: no allocation, no locking, no clock reads.
+
+Clocks
+------
+Each span records two clocks: ``start_wall`` (``time.time()``, the only
+clock comparable across processes and the timestamp Chrome's trace
+viewer wants) and a monotonic ``time.perf_counter()`` duration that is
+immune to wall-clock steps.  Durations are never derived from wall time.
+
+Cross-process propagation
+-------------------------
+Span ids are ``"{pid}:{seq}"`` so ids minted in different processes can
+never collide.  A parent process puts the current span id into the task
+envelope; the worker builds ``Tracer(root_parent=that_id)``, runs the
+task under it, and ships ``tracer.records()`` back over its result pipe;
+the parent calls :meth:`Tracer.stitch` to splice them in.  A SIGKILLed
+worker never ships its records — the parent-side span covering the task
+is closed as ``status="aborted"`` by the crash-detection path instead,
+so no span is ever silently lost.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterable, Iterator
+
+__all__ = [
+    "NOOP_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "set_tracing_enabled",
+    "use_tracer",
+]
+
+#: the ambient tracer; ``None`` means "tracing off" (NULL_TRACER).
+_TRACER_VAR: ContextVar["Tracer | None"] = ContextVar("repro_obs_tracer", default=None)
+#: the ambient parent span id for automatic nesting.
+_SPAN_VAR: ContextVar[str | None] = ContextVar("repro_obs_span", default=None)
+
+#: process-global kill switch (benchmark baseline: no contextvar lookups
+#: can make tracing observable when this is off).
+_ENABLED = True
+
+_UNSET = object()
+
+
+def set_tracing_enabled(flag: bool) -> None:
+    """Process-global tracing kill switch (default on).
+
+    When off, :func:`current_tracer` short-circuits to
+    :data:`NULL_TRACER` without consulting the contextvar — the
+    "no-tracer baseline" of ``benchmarks/bench_obs_overhead.py``.
+    Explicitly constructed tracers keep working; only ambient discovery
+    is disabled.
+    """
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+class Span:
+    """One timed, named, tagged interval in a trace.
+
+    Lifecycle: ``status`` starts ``"open"``; :meth:`end` moves it to
+    ``"ok"``; :meth:`abort` to ``"aborted"`` (or a caller-supplied
+    terminal status).  Both are idempotent — the first terminal
+    transition wins, later calls are no-ops — so ``abort()`` followed by
+    an unconditional ``end()`` in a ``finally`` is safe and is the
+    idiom the ``span-lifecycle`` lint rule expects.
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "tags",
+        "status",
+        "start_wall",
+        "duration",
+        "pid",
+        "_t0",
+    )
+
+    def __init__(
+        self,
+        span_id: str,
+        parent_id: str | None,
+        name: str,
+        tags: dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.tags = tags
+        self.status = "open"
+        self.start_wall = time.time()
+        self.duration: float | None = None
+        self.pid = os.getpid()
+        self._t0 = time.perf_counter()
+
+    def end(self) -> None:
+        """Close the span as ``"ok"`` (no-op unless still open)."""
+        if self.status == "open":
+            self.duration = time.perf_counter() - self._t0
+            self.status = "ok"
+
+    def abort(self, status: str = "aborted") -> None:
+        """Close the span with a failure ``status`` (no-op unless open)."""
+        if self.status == "open":
+            self.duration = time.perf_counter() - self._t0
+            self.status = status
+
+    # -- context-manager sugar (used by tests and ad-hoc callers) -------- #
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        self.end()
+
+    def to_record(self) -> dict[str, Any]:
+        """A JSON-native dict snapshot (the wire/stitch representation)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "status": self.status,
+            "start_wall": self.start_wall,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "Span":
+        span = cls.__new__(cls)
+        span.span_id = record["span_id"]
+        span.parent_id = record["parent_id"]
+        span.name = record["name"]
+        span.tags = dict(record.get("tags") or {})
+        span.status = record["status"]
+        span.start_wall = record["start_wall"]
+        span.duration = record["duration"]
+        span.pid = record.get("pid", 0)
+        span._t0 = 0.0
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, status={self.status!r}, "
+            f"duration={self.duration})"
+        )
+
+
+class _NoopSpan:
+    """The shared do-nothing span; every operation is a constant."""
+
+    __slots__ = ()
+
+    span_id = ""
+    parent_id = None
+    name = ""
+    tags: dict[str, Any] = {}
+    status = "ok"
+    start_wall = 0.0
+    duration = 0.0
+    pid = 0
+
+    def end(self) -> None:
+        return None
+
+    def abort(self, status: str = "aborted") -> None:
+        return None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def to_record(self) -> dict[str, Any]:  # pragma: no cover - not exported
+        return {}
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """A recording tracer: mints spans, tracks nesting, stitches records.
+
+    Thread-safe: the span list and the id counter are guarded by one
+    lock.  Nesting is per *context* (via ``contextvars``), so concurrent
+    threads and feeder tasks parent correctly without sharing state.
+
+    ``root_parent`` is the parent id for spans begun with no ambient
+    parent — how a worker-side tracer hangs its whole subtree under the
+    parent process's dispatch span.
+    """
+
+    enabled = True
+
+    def __init__(self, root_parent: str | None = None) -> None:
+        self._root_parent = root_parent
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._seq = 0
+
+    # -- span creation --------------------------------------------------- #
+    def begin(self, name: str, *, parent: Any = _UNSET, **tags: Any) -> Span:
+        """Start (and record) a span; the caller owns its lifecycle.
+
+        The caller must route every control-flow path to
+        :meth:`Span.end` or :meth:`Span.abort` — enforced by the
+        ``span-lifecycle`` lint rule.  ``parent`` defaults to the
+        ambient current span (falling back to ``root_parent``).
+        """
+        if parent is _UNSET:
+            parent = _SPAN_VAR.get()
+            if parent is None:
+                parent = self._root_parent
+        with self._lock:
+            self._seq += 1
+            span_id = f"{os.getpid()}:{self._seq}"
+            span = Span(span_id, parent, name, tags)
+            self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[Span]:
+        """Context manager: begin a span, install it as the ambient
+        parent, close it as ok/aborted on exit."""
+        sp = self.begin(name, **tags)
+        try:
+            token = _SPAN_VAR.set(sp.span_id)
+            try:
+                yield sp
+            finally:
+                _SPAN_VAR.reset(token)
+        except BaseException:
+            sp.abort()
+            raise
+        finally:
+            sp.end()
+
+    # -- collection ------------------------------------------------------ #
+    def stitch(self, records: Iterable[dict[str, Any]]) -> None:
+        """Splice worker-side span records into this trace."""
+        spans = [Span.from_record(r) for r in records]
+        with self._lock:
+            self._spans.extend(spans)
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def open_spans(self) -> list[Span]:
+        with self._lock:
+            return [s for s in self._spans if s.status == "open"]
+
+    def records(self) -> list[dict[str, Any]]:
+        """JSON-native snapshots of every recorded span."""
+        with self._lock:
+            return [s.to_record() for s in self._spans]
+
+
+class NullTracer:
+    """The disabled tracer: every operation returns :data:`NOOP_SPAN`.
+
+    ``span()`` returns the no-op span *directly* — it already is a
+    context manager — so a traced block under the null tracer costs one
+    attribute load and no allocation.
+    """
+
+    enabled = False
+
+    def begin(self, name: str, *, parent: Any = None, **tags: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def span(self, name: str, **tags: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def stitch(self, records: Iterable[dict[str, Any]]) -> None:
+        return None
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def open_spans(self) -> list[Span]:
+        return []
+
+    def records(self) -> list[dict[str, Any]]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The ambient tracer, or :data:`NULL_TRACER` when tracing is off."""
+    if not _ENABLED:
+        return NULL_TRACER
+    tracer = _TRACER_VAR.get()
+    return tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | NullTracer | None") -> Iterator[None]:
+    """Install ``tracer`` as the ambient tracer for the dynamic extent.
+
+    ``None`` (and :data:`NULL_TRACER`) install "tracing off", which
+    *shadows* any outer tracer — useful to fence an untraced region.
+    """
+    if tracer is NULL_TRACER:
+        tracer = None
+    token = _TRACER_VAR.set(tracer)
+    try:
+        yield
+    finally:
+        _TRACER_VAR.reset(token)

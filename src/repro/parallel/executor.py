@@ -55,6 +55,8 @@ from ..core.bitset import (
 from ..core.indexed import IndexedEnsemble, solve_path_indexed
 from ..core.instrument import SolverStats
 from ..errors import ParallelError, WireFormatError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer, current_tracer, use_tracer
 from ..serve import wire
 
 __all__ = ["SliceExecutor", "SliceTask"]
@@ -200,30 +202,51 @@ _OPS = {
 def _slice_worker_loop(task_q, result_conn) -> None:
     """Worker entry: attach the named segment per task, run the slice op.
 
-    Items are ``(task_id, segment_name, op, spec)`` tuples of primitives;
-    ``None`` shuts the worker down.  Results go back as
-    ``("done", task_id, payload)`` or ``("error", task_id, detail)`` over
-    this worker's private pipe — single writer, so a crash mid-``send``
-    cannot corrupt another worker's channel.
+    Items are ``(task_id, segment_name, op, spec, trace_ctx)`` tuples of
+    primitives; ``None`` shuts the worker down.  Results go back as
+    ``("done", task_id, payload, meta)`` or
+    ``("error", task_id, detail, meta)`` over this worker's private pipe —
+    single writer, so a crash mid-``send`` cannot corrupt another worker's
+    channel.  ``meta`` is ``(run_seconds, span_records)``: when
+    ``trace_ctx`` carries a parent span id, the op runs under a local
+    :class:`~repro.obs.trace.Tracer` rooted at that id and the recorded
+    spans (plain dicts of primitives) ride home for stitching.
     """
     while True:
         item = task_q.get()
         if item is None:
             break
-        task_id, segment_name, op, spec = item
+        task_id, segment_name, op, spec, trace_ctx = item
+        started = time.perf_counter()
+        tracer = Tracer(root_parent=trace_ctx) if trace_ctx is not None else None
         try:
             handler = _OPS.get(op)
             if handler is None:
                 raise ParallelError(f"unknown slice op {op!r}")
             segment = wire.attach_segment(segment_name)
             try:
-                result = handler(segment.buf, spec)
+                if tracer is None:
+                    result = handler(segment.buf, spec)
+                else:
+                    with use_tracer(tracer):
+                        with tracer.span(f"worker.slice.{op}"):
+                            result = handler(segment.buf, spec)
             finally:
                 segment.close()
-            result_conn.send(("done", task_id, result))
+            meta = (
+                time.perf_counter() - started,
+                tracer.records() if tracer is not None else (),
+            )
+            result_conn.send(("done", task_id, result, meta))
         except BaseException as exc:
+            meta = (
+                time.perf_counter() - started,
+                tracer.records() if tracer is not None else (),
+            )
             try:
-                result_conn.send(("error", task_id, f"{type(exc).__name__}: {exc}"))
+                result_conn.send(
+                    ("error", task_id, f"{type(exc).__name__}: {exc}", meta)
+                )
             except (OSError, ValueError, BrokenPipeError):  # repro: lint-ok[exception-contract] parent gone; crash handling takes over
                 pass
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
@@ -236,7 +259,7 @@ def _slice_worker_loop(task_q, result_conn) -> None:
 class SliceTask:
     """One dispatched slice op and where its result lands."""
 
-    __slots__ = ("slot", "op", "spec", "worker", "retries")
+    __slots__ = ("slot", "op", "spec", "worker", "retries", "span", "enqueued")
 
     def __init__(self, slot: int, op: str, spec: tuple) -> None:
         self.slot = slot
@@ -244,6 +267,8 @@ class SliceTask:
         self.spec = spec
         self.worker = None
         self.retries = 0
+        self.span = None
+        self.enqueued = 0.0
 
 
 class _SliceWorker:
@@ -292,6 +317,7 @@ class SliceExecutor:
         self.num_workers = workers
         self.max_task_retries = max_task_retries
         self.respawn_count = 0
+        self.metrics = MetricsRegistry()
         self._ctx = multiprocessing.get_context(start_method)
         self._counter = itertools.count()
         self._segment = None
@@ -329,6 +355,7 @@ class SliceExecutor:
             raise ParallelError("executor is closed")
         self.release_instance()
         self._segment = wire.create_segment(payload)
+        self.metrics.counter("parallel.dispatch_bytes").inc(len(payload))
 
     def release_instance(self) -> None:
         """Unpublish the current instance segment, if any."""
@@ -383,6 +410,8 @@ class SliceExecutor:
         results: list = [None] * len(tasks)
         pending: dict[int, SliceTask] = {}
         loads = {id(w): 0 for w in self._workers}
+        tracer = current_tracer()
+        metrics = self.metrics
 
         def dispatch(task_id: int, entry: SliceTask) -> None:
             alive = [w for w in self._workers if w.process.is_alive()]
@@ -390,17 +419,42 @@ class SliceExecutor:
             worker = min(pool, key=lambda w: loads.get(id(w), 0))
             entry.worker = worker
             loads[id(worker)] = loads.get(id(worker), 0) + 1
-            worker.task_q.put((task_id, segment_name, entry.op, entry.spec))
+            if tracer.enabled:
+                entry.span = tracer.begin(f"slice.{entry.op}")
+            entry.enqueued = time.perf_counter()
+            worker.task_q.put(
+                (
+                    task_id,
+                    segment_name,
+                    entry.op,
+                    entry.spec,
+                    entry.span.span_id if entry.span is not None else None,
+                )
+            )
 
         def settle(message: tuple) -> None:
-            status, task_id, payload = message
+            status, task_id, payload, meta = message
             entry = pending.pop(task_id, None)
             if entry is None:
                 return  # a stale duplicate from before a re-dispatch
             loads[id(entry.worker)] = loads.get(id(entry.worker), 1) - 1
+            total = time.perf_counter() - entry.enqueued
+            run_seconds, records = meta
+            metrics.counter("parallel.tasks").inc()
+            metrics.histogram("parallel.task_total_seconds").observe(total)
+            metrics.histogram("parallel.task_run_seconds").observe(run_seconds)
+            metrics.histogram("parallel.queue_wait_seconds").observe(
+                max(0.0, total - run_seconds)
+            )
+            if records:
+                tracer.stitch(records)
             if status == "done":
+                if entry.span is not None:
+                    entry.span.end()
                 results[entry.slot] = payload
             else:
+                if entry.span is not None:
+                    entry.span.abort("error")
                 raise ParallelError(f"slice task {entry.op!r} failed: {payload}")
 
         for slot, (op, spec) in enumerate(tasks):
@@ -409,20 +463,29 @@ class SliceExecutor:
             pending[task_id] = entry
             dispatch(task_id, entry)
 
-        while pending:
-            conns = [
-                w.result_conn for w in self._workers if not w.result_conn.closed
-            ]
-            for conn in connection.wait(conns, timeout=_WAIT_TIMEOUT):
-                try:
-                    message = conn.recv()
-                except (EOFError, OSError):
-                    continue  # EOF from a dead worker; the reap below handles it
-                settle(message)
-            self._reap_dead_workers(pending, settle)
+        try:
+            while pending:
+                conns = [
+                    w.result_conn for w in self._workers if not w.result_conn.closed
+                ]
+                for conn in connection.wait(conns, timeout=_WAIT_TIMEOUT):
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        continue  # EOF from a dead worker; the reap below handles it
+                    settle(message)
+                self._reap_dead_workers(pending, settle, tracer)
+        except BaseException:
+            # The wave is abandoned: no worker result will ever close these
+            # parent-side spans, so the crash/error path closes them as
+            # aborted — a trace never silently loses an in-flight task.
+            for entry in pending.values():
+                if entry.span is not None:
+                    entry.span.abort()
+            raise
         return results
 
-    def _reap_dead_workers(self, pending, settle) -> None:
+    def _reap_dead_workers(self, pending, settle, tracer) -> None:
         """Respawn dead workers and re-dispatch their outstanding tasks."""
         for slot, worker in enumerate(self._workers):
             if worker.process.is_alive():
@@ -441,6 +504,7 @@ class SliceExecutor:
             replacement = self._spawn_worker()
             self._workers[slot] = replacement
             self.respawn_count += 1
+            self.metrics.counter("parallel.respawns").inc()
             orphans = [
                 (task_id, entry)
                 for task_id, entry in pending.items()
@@ -448,13 +512,32 @@ class SliceExecutor:
             ]
             for task_id, entry in orphans:
                 entry.retries += 1
+                # The dispatched attempt died with the worker: its span is
+                # closed as aborted; a retry gets a fresh span under the
+                # same parent so the trace shows every attempt.
+                parent = None
+                if entry.span is not None:
+                    parent = entry.span.parent_id
+                    entry.span.abort()
                 if entry.retries > self.max_task_retries:
                     raise ParallelError(
                         f"slice task {entry.op!r} crashed its worker "
                         f"{entry.retries} times; giving up"
                     )
+                if entry.span is not None:
+                    entry.span = tracer.begin(
+                        f"slice.{entry.op}", parent=parent, retry=entry.retries
+                    )
                 self._dispatch_to(replacement, task_id, entry)
 
     def _dispatch_to(self, worker: _SliceWorker, task_id: int, entry: SliceTask) -> None:
         entry.worker = worker
-        worker.task_q.put((task_id, self._segment.name, entry.op, entry.spec))
+        worker.task_q.put(
+            (
+                task_id,
+                self._segment.name,
+                entry.op,
+                entry.spec,
+                entry.span.span_id if entry.span is not None else None,
+            )
+        )

@@ -49,6 +49,7 @@ from ..core.indexed import (
 from ..core.instrument import SolverStats
 from ..ensemble import Ensemble
 from ..errors import ParallelError
+from ..obs.trace import current_tracer
 from ..pram.costmodel import parallel_fanout_worthwhile
 from ..serve import wire
 from .executor import SliceExecutor
@@ -104,11 +105,14 @@ class ParallelSolver:
         if self._closed:
             raise ParallelError("solver is closed")
         if self._executor is None:
-            self._executor = SliceExecutor(
-                self.workers,
-                start_method=self._start_method,
-                max_task_retries=self._max_task_retries,
-            )
+            with current_tracer().span(
+                "pool.spawn", workers=self.workers, kind="slice"
+            ):
+                self._executor = SliceExecutor(
+                    self.workers,
+                    start_method=self._start_method,
+                    max_task_retries=self._max_task_retries,
+                )
         return self._executor
 
     def close(self) -> None:
@@ -248,11 +252,18 @@ class ParallelSolver:
     ):
         """Pack, split, fan out, merge — or return ``_SERIAL`` to decline."""
         n = indexed.num_atoms
+        tracer = current_tracer()
         executor = self._ensure_executor()
-        payload = wire.pack_ensemble(range(n), columns, None, with_labels=False)
-        executor.set_instance(payload)
+        with tracer.span("parallel.pack", n=n, m=len(columns)):
+            payload = wire.pack_ensemble(
+                range(n), columns, None, with_labels=False
+            )
+            executor.set_instance(payload)
         try:
-            members, comp_of = self._parallel_components(executor, n, columns)
+            with tracer.span("parallel.components", n=n, m=len(columns)):
+                members, comp_of = self._parallel_components(
+                    executor, n, columns
+                )
             if len(members) <= 1:
                 return _SERIAL
             if self.fanout == "auto" and not parallel_fanout_worthwhile(
@@ -272,12 +283,16 @@ class ParallelSolver:
                 stats.execution = "parallel"
                 stats.parallel_workers = self.workers
             comp_cols = self._assign_columns(comp_of, len(members), columns)
-            layouts = self._solve_components(
-                executor, n, members, comp_cols, stats, engine=engine
-            )
+            with tracer.span(
+                "parallel.solve", n=n, components=len(members)
+            ):
+                layouts = self._solve_components(
+                    executor, n, members, comp_cols, stats, engine=engine
+                )
             if layouts is None:
                 return None
-            return self._merge_ladder(executor, comp_cols, layouts, stats)
+            with tracer.span("parallel.merge_ladder", components=len(members)):
+                return self._merge_ladder(executor, comp_cols, layouts, stats)
         finally:
             executor.release_instance()
 

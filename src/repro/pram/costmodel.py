@@ -34,6 +34,8 @@ __all__ = [
     "fussell_tutte_work",
     "sequential_tutte_query_work",
     "sequential_tutte_build_work",
+    "sequential_solve_work",
+    "merge_verify_work",
     "certify_narrowing_tests",
     "certify_work",
     "wire_dispatch_bytes",
@@ -113,6 +115,27 @@ def sequential_tutte_build_work(n: int, m: int, engine: str = "spqr") -> int:
     return max(1, m) * sequential_tutte_query_work(n, m, engine)
 
 
+def sequential_solve_work(p: int) -> int:
+    """Work charged for one sequential solve: ``p·log p`` (constants one).
+
+    The paper's sequential bound on an instance with ``p`` ones — the
+    unit every other charge in this module is compared against, and the
+    analytic counterpart of the measured ``solve.path``/``solve.cycle``
+    spans in :mod:`repro.obs.calibrate`.
+    """
+    return max(1, int(math.ceil(max(1, p) * log2(max(2, p)))))
+
+
+def merge_verify_work(p: int) -> int:
+    """Work charged for one verified pairwise merge over ``p`` ones.
+
+    A merge re-verifies every placed column against the candidate layout
+    once — linear in the total size of the two sides (constants one).
+    The measured counterpart is the ``merge.verify`` span.
+    """
+    return max(1, p)
+
+
 # ---------------------------------------------------------------------- #
 # certification: witness-extraction work (DESIGN.md, Substitution 4)
 # ---------------------------------------------------------------------- #
@@ -153,8 +176,7 @@ def certify_work(
     tests = certify_narrowing_tests(m, witness_rows) + certify_narrowing_tests(
         n, witness_atoms
     )
-    solve = max(1, int(math.ceil(p * log2(p))))
-    return tests * solve
+    return tests * sequential_solve_work(p)
 
 
 # ---------------------------------------------------------------------- #
@@ -272,8 +294,7 @@ def parallel_fanout_worthwhile(
     if components is not None and components < 2:
         return False
     fanout = min(workers, components) if components is not None else workers
-    solve = max(1, p) * log2(max(2, p))
-    saved = solve * (1.0 - 1.0 / fanout)
+    saved = sequential_solve_work(p) * (1.0 - 1.0 / fanout)
     overhead = pool_startup_work(workers, cold=cold) + (
         wire_dispatch_bytes(n, m) + 7
     ) // 8

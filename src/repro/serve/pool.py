@@ -51,6 +51,7 @@ import itertools
 import os
 import queue
 import threading
+import time
 import traceback
 import multiprocessing
 from multiprocessing import connection, shared_memory
@@ -65,6 +66,8 @@ from ..batch import (
 from ..core.indexed import IndexedEnsemble
 from ..ensemble import Ensemble
 from ..errors import ServeError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer, current_tracer, use_tracer
 from . import wire
 
 Atom = Hashable
@@ -80,21 +83,70 @@ _SOLVE, _CERTIFY = "solve", "certify"
 # ---------------------------------------------------------------------- #
 # the worker process
 # ---------------------------------------------------------------------- #
+def _solve_entry(kind, payload, circular, kernel, engine, tracer):
+    """Solve one bundle entry; returns ``(order, witness_json)``."""
+    from ..core import cycle_realization, path_realization
+
+    indexed = IndexedEnsemble.from_packed_masks(payload)
+    # The label-level round trip keeps the pool differentially
+    # identical to serial solve_many, which dispatches
+    # label-level sub-ensembles to the same entry points.
+    ensemble = indexed.to_ensemble()
+    order = witness_json = None
+    if kind in (_K_SOLVE, _K_SOLVE_CERTIFY):
+        solve = cycle_realization if circular else path_realization
+        if tracer is not None:
+            with tracer.span(
+                "serve.solve", n=indexed.num_atoms, m=indexed.num_columns
+            ):
+                order = solve(ensemble, kernel=kernel, engine=engine)
+        else:
+            order = solve(ensemble, kernel=kernel, engine=engine)
+    if (kind == _K_SOLVE_CERTIFY and order is None) or kind == _K_CERTIFY:
+        from ..certify.witness import extract_tucker_witness
+
+        if tracer is not None:
+            with tracer.span(
+                "serve.certify", n=indexed.num_atoms, m=indexed.num_columns
+            ):
+                witness_json = extract_tucker_witness(
+                    ensemble,
+                    kernel=kernel,
+                    engine=engine,
+                    circular=circular,
+                    assume_rejected=True,
+                ).to_json()
+        else:
+            witness_json = extract_tucker_witness(
+                ensemble,
+                kernel=kernel,
+                engine=engine,
+                circular=circular,
+                assume_rejected=True,
+            ).to_json()
+    return (order, witness_json)
+
+
 def _worker_loop(task_q, result_conn) -> None:
     """Run in each worker process: attach, rebuild, solve, report, repeat.
 
-    One result message per *bundle*: a list of ``(order, witness_json)``
-    pairs aligned with the bundle's entries.  Results go back over a
-    per-worker pipe with this process as its only writer, which keeps
-    crash recovery lock-free (see the module docstring).
+    One result message per *bundle*: ``(status, task_id, payload, meta)``
+    where the payload is a list of ``(order, witness_json)`` pairs aligned
+    with the bundle's entries and ``meta = (busy_seconds, span_records)``.
+    A traced bundle carries the parent's span id in its envelope; the
+    worker roots a local :class:`~repro.obs.trace.Tracer` under it and
+    ships its span records home in ``meta``, where the collector stitches
+    them into the submitting trace.  Results go back over a per-worker
+    pipe with this process as its only writer, which keeps crash recovery
+    lock-free (see the module docstring).
     """
-    from ..core import cycle_realization, path_realization
-
     while True:
         item = task_q.get()
         if item is None:
             break
-        task_id, segment_name, circular, kernel, engine = item
+        task_id, segment_name, circular, kernel, engine, trace_ctx = item
+        started = time.perf_counter()
+        tracer = Tracer(root_parent=trace_ctx) if trace_ctx is not None else None
         try:
             segment = wire.attach_segment(segment_name)
             try:
@@ -109,35 +161,31 @@ def _worker_loop(task_q, result_conn) -> None:
                 ]
             finally:
                 segment.close()
-            outcomes = []
-            for kind, payload in entries:
-                indexed = IndexedEnsemble.from_packed_masks(payload)
-                # The label-level round trip keeps the pool differentially
-                # identical to serial solve_many, which dispatches
-                # label-level sub-ensembles to the same entry points.
-                ensemble = indexed.to_ensemble()
-                order = witness_json = None
-                if kind in (_K_SOLVE, _K_SOLVE_CERTIFY):
-                    solve = cycle_realization if circular else path_realization
-                    order = solve(ensemble, kernel=kernel, engine=engine)
-                if (kind == _K_SOLVE_CERTIFY and order is None) or (
-                    kind == _K_CERTIFY
-                ):
-                    from ..certify.witness import extract_tucker_witness
-
-                    witness_json = extract_tucker_witness(
-                        ensemble,
-                        kernel=kernel,
-                        engine=engine,
-                        circular=circular,
-                        assume_rejected=True,
-                    ).to_json()
-                outcomes.append((order, witness_json))
-            result_conn.send(("done", task_id, outcomes))
+            if tracer is not None:
+                with use_tracer(tracer):
+                    with tracer.span("worker.serve.task", entries=len(entries)):
+                        outcomes = [
+                            _solve_entry(k, p, circular, kernel, engine, tracer)
+                            for k, p in entries
+                        ]
+            else:
+                outcomes = [
+                    _solve_entry(k, p, circular, kernel, engine, None)
+                    for k, p in entries
+                ]
+            meta = (
+                time.perf_counter() - started,
+                tracer.records() if tracer is not None else (),
+            )
+            result_conn.send(("done", task_id, outcomes, meta))
         except BaseException as exc:
             detail = f"{exc!r}\n{traceback.format_exc()}"
+            meta = (
+                time.perf_counter() - started,
+                tracer.records() if tracer is not None else (),
+            )
             try:
-                result_conn.send(("error", task_id, detail))
+                result_conn.send(("error", task_id, detail, meta))
             except Exception:  # pragma: no cover - reporting channel gone  # repro: lint-ok[exception-contract] nothing left to tell the parent
                 pass
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
@@ -202,7 +250,7 @@ class _Inflight:
 
     __slots__ = (
         "task_id", "item", "segment", "future", "worker", "retries",
-        "done_q", "single",
+        "done_q", "single", "span", "trace", "enqueued",
     )
 
     def __init__(self, task_id, item, segment, future, worker, done_q, single):
@@ -214,6 +262,9 @@ class _Inflight:
         self.retries = 0
         self.done_q = done_q
         self.single = single
+        self.span = None          # parent-side serve.task span, if traced
+        self.trace = None         # the Tracer that owns it (stitch target)
+        self.enqueued = 0.0
 
 
 def _unlink_quietly(segment: shared_memory.SharedMemory) -> None:
@@ -291,6 +342,8 @@ class ServePool:
         # observability (read by the stress suite and the benchmark)
         self.respawn_count = 0
         self.max_inflight_seen = 0
+        self.metrics = MetricsRegistry()
+        self._started = time.perf_counter()
 
         wire.ensure_shared_tracker()
         self._workers = [self._spawn_worker() for _ in range(workers)]
@@ -399,6 +452,7 @@ class ServePool:
         kernel: str = "indexed",
         engine: str | None = None,
         certify: bool = False,
+        trace: "Tracer | None" = None,
         _kind: int | None = None,
         _tag=None,
     ) -> ServeFuture:
@@ -408,6 +462,9 @@ class ServePool:
         :class:`ServeFuture` resolving to ``(order, witness_json)``.  With
         ``certify=True`` a rejected instance's witness is extracted by the
         same worker in the same task — no second pool, no second hop.
+        ``trace=`` records a ``serve.task`` span for the dispatch and
+        stitches the worker-side spans under it when the result lands
+        (``None`` inherits the ambient tracer of the calling thread).
         """
         payload = _pack_instance(ensemble)
         if (
@@ -430,6 +487,7 @@ class ServePool:
             done_q=None,
             tag=_tag,
             single=True,
+            trace=trace,
         )
 
     def _submit_bundle(
@@ -442,6 +500,7 @@ class ServePool:
         done_q: "queue.Queue | None",
         tag,
         single: bool,
+        trace: "Tracer | None" = None,
     ) -> ServeFuture:
         """Ship one bundle of packed entries; blocks on the in-flight window."""
         frame = wire.pack_bundle(entries)
@@ -460,34 +519,61 @@ class ServePool:
                 f"bundle frame is {len(frame)} bytes, over the pool's "
                 f"segment budget of {self.max_segment_bytes}"
             )
+        tracer = trace if trace is not None else current_tracer()
+        span = None
+        wait_t0 = time.perf_counter()
         self._slots.acquire()
         try:
+            self.metrics.histogram("serve.backpressure_wait_seconds").observe(
+                time.perf_counter() - wait_t0
+            )
             with self._lock:
                 if self._closed:
                     raise ServeError("cannot submit to a closed pool")
                 task_id = next(self._counter)
                 segment = wire.create_segment(frame)
                 try:
-                    item = (task_id, segment.name, circular, kernel, engine)
+                    if tracer.enabled:
+                        span = tracer.begin(
+                            "serve.task",
+                            entries=len(entries),
+                            payload_bytes=len(frame),
+                        )
+                    item = (
+                        task_id, segment.name, circular, kernel, engine,
+                        span.span_id if span is not None else None,
+                    )
                     worker = self._pick_worker()
                     future = ServeFuture(tag)
                     inflight = _Inflight(
                         task_id, item, segment, future, worker, done_q, single
                     )
+                    if span is not None:
+                        inflight.span = span
+                        inflight.trace = tracer
+                    inflight.enqueued = time.perf_counter()
                     self._pending[task_id] = inflight
                     worker.inflight.add(task_id)
                     self.max_inflight_seen = max(
                         self.max_inflight_seen, len(self._pending)
                     )
+                    self.metrics.counter("serve.tasks").inc()
+                    self.metrics.counter("serve.dispatch_bytes").inc(len(frame))
+                    self.metrics.gauge("serve.queue_depth").set(
+                        len(self._pending)
+                    )
                     worker.task_q.put(item)
                 except BaseException:
                     # A failed submit must not strand the segment: no
                     # worker ever learned its name, so nothing downstream
-                    # would unlink it.
+                    # would unlink it.  Likewise the span: no result will
+                    # ever close it.
                     self._pending.pop(task_id, None)
                     for candidate in self._workers:
                         candidate.inflight.discard(task_id)
                     _unlink_quietly(segment)
+                    if span is not None:
+                        span.abort()
                     raise
             return future
         except BaseException:
@@ -534,6 +620,10 @@ class ServePool:
     def _resolve(self, inflight: _Inflight, *, value=None, error=None) -> None:
         """Finish one bundle (lock held): unlink, resolve, free the slot."""
         _unlink_quietly(inflight.segment)
+        if inflight.span is not None:
+            # Still open here means no result ever closed it — the pool
+            # shut down or the retry budget ran out mid-flight.
+            inflight.span.abort()
         if error is not None:
             inflight.future._set_error(error)
         else:
@@ -543,15 +633,27 @@ class ServePool:
         self._slots.release()
 
     def _handle_result(self, message) -> None:
-        status, task_id, payload = message
+        status, task_id, payload, meta = message
         inflight = self._pending.pop(task_id, None)
         if inflight is None:
             return  # duplicate delivery after a crash re-dispatch
         inflight.worker.inflight.discard(task_id)
+        busy_seconds, records = meta
+        self.metrics.counter("serve.busy_seconds").inc(max(0.0, busy_seconds))
+        self.metrics.histogram("serve.task_seconds").observe(
+            max(0.0, time.perf_counter() - inflight.enqueued)
+        )
+        self.metrics.gauge("serve.queue_depth").set(len(self._pending))
+        if records and inflight.trace is not None:
+            inflight.trace.stitch(records)
         if status == "done":
+            if inflight.span is not None:
+                inflight.span.end()
             value = payload[0] if inflight.single else payload
             self._resolve(inflight, value=value)
         else:
+            if inflight.span is not None:
+                inflight.span.abort("error")
             self._resolve(
                 inflight, error=ServeError(f"worker task failed:\n{payload}")
             )
@@ -580,10 +682,22 @@ class ServePool:
             if not self._closed:
                 self._workers[slot] = self._spawn_worker()
                 self.respawn_count += 1
+                self.metrics.counter("serve.respawns").inc()
             for inflight in orphaned:
                 inflight.retries += 1
+                # The crashed attempt's span closes as aborted — that is
+                # the trace record the crash-mid-span tests pin — and a
+                # re-dispatch opens a fresh one under the same parent.
+                parent = None
+                if inflight.span is not None:
+                    parent = inflight.span.parent_id
+                    inflight.span.abort()
                 if inflight.retries > self.max_task_retries:
                     self._pending.pop(inflight.task_id, None)
+                    self.metrics.gauge("serve.queue_depth").set(
+                        len(self._pending)
+                    )
+                    inflight.span = None  # already aborted above
                     self._resolve(
                         inflight,
                         error=ServeError(
@@ -591,6 +705,13 @@ class ServePool:
                         ),
                     )
                     continue
+                if inflight.span is not None:
+                    inflight.span = inflight.trace.begin(
+                        "serve.task", parent=parent, retry=inflight.retries
+                    )
+                    inflight.item = inflight.item[:5] + (
+                        inflight.span.span_id,
+                    )
                 target = self._pick_worker()
                 inflight.worker = target
                 target.inflight.add(inflight.task_id)
@@ -611,6 +732,7 @@ class ServePool:
         ordered: bool = False,
         chunksize: int | None = None,
         parallel: int | None = None,
+        trace: "Tracer | None" = None,
     ) -> Iterator[BatchResult]:
         """Stream :class:`~repro.batch.BatchResult`\\ s through the warm pool.
 
@@ -627,6 +749,12 @@ class ServePool:
         per-instance latency — for unsized streams.  ``parallel`` (the
         intra-instance fan-out of :mod:`repro.parallel`) is rejected:
         serve workers are single-process by design.
+
+        ``trace=`` must be passed explicitly to trace a stream: submission
+        happens on the feeder thread, and a contextvar-installed ambient
+        tracer does not propagate to threads started after it was set —
+        so the tracer captured *here*, on the calling thread, is handed to
+        the feeder by closure.
         """
         if parallel is not None:
             raise ServeError(
@@ -649,6 +777,8 @@ class ServePool:
         states: dict[int, _StreamState] = {}
 
         feeder_error: list[BaseException] = []
+        tracer = trace if trace is not None else current_tracer()
+        stream_trace = tracer if tracer.enabled else None
 
         def _flush(group: list[tuple[tuple, int, bytes]]) -> None:
             self._submit_bundle(
@@ -659,6 +789,7 @@ class ServePool:
                 done_q=done_q,
                 tag=tuple(tag for tag, _, _ in group),
                 single=False,
+                trace=stream_trace,
             )
 
         split = _split_mode(split_components, circular)
@@ -733,6 +864,7 @@ class ServePool:
                     result = self._advance(
                         states[index], part, stage, order, witness_json,
                         circular, kernel, engine, done_q, certify,
+                        stream_trace,
                     )
                     if result is None:
                         continue
@@ -760,6 +892,7 @@ class ServePool:
         engine: str | None,
         done_q: "queue.Queue",
         certify: bool,
+        trace: "Tracer | None" = None,
     ) -> BatchResult | None:
         """Feed one completed outcome into an instance; return it when done."""
         if stage == _CERTIFY:
@@ -817,6 +950,7 @@ class ServePool:
             done_q=done_q,
             tag=((state.index, 0, _CERTIFY),),
             single=False,
+            trace=trace,
         )
         return None
 
@@ -831,11 +965,12 @@ class ServePool:
         certify: bool = False,
         chunksize: int | None = None,
         parallel: int | None = None,
+        trace: "Tracer | None" = None,
     ) -> list[BatchResult]:
         """Ordered, :func:`repro.batch.solve_many`-compatible batch solve.
 
         ``parallel`` is rejected (:class:`~repro.errors.ServeError`), as in
-        :meth:`solve_stream`.
+        :meth:`solve_stream`; ``trace=`` is threaded through as there.
         """
         return list(
             self.solve_stream(
@@ -848,8 +983,29 @@ class ServePool:
                 ordered=True,
                 chunksize=chunksize,
                 parallel=parallel,
+                trace=trace,
             )
         )
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    def utilization(self) -> float:
+        """Fraction of worker capacity spent solving since pool start.
+
+        Worker busy time (reported per bundle in result metadata) over
+        wall time × worker count.  A cold or idle pool reads near zero.
+        """
+        elapsed = time.perf_counter() - self._started
+        if elapsed <= 0.0:
+            return 0.0
+        busy = self.metrics.counter("serve.busy_seconds").value
+        return min(1.0, busy / (elapsed * self.num_workers))
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-native snapshot of the pool's metrics registry."""
+        self.metrics.gauge("serve.utilization").set(self.utilization())
+        return self.metrics.snapshot()
 
 
 class _StreamState:

@@ -38,6 +38,7 @@ from ..graph.multigraph import MultiGraph
 from ..graph.separation import find_two_separation
 from ..graph.spqr import spqr_two_separation
 from ..graph.traversal import is_biconnected
+from ..obs.trace import current_tracer
 from .members import MARKER_KIND, Member, MemberKind
 
 __all__ = ["TutteDecomposition", "ENGINES", "DEFAULT_ENGINE", "resolve_engine"]
@@ -116,6 +117,19 @@ class TutteDecomposition:
         search.  Both produce the identical canonical decomposition.
         """
         engine = resolve_engine(engine)
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return cls._build(graph, engine)
+        with tracer.span(
+            "tutte.build",
+            n=graph.num_vertices,
+            m=graph.num_edges,
+            engine=engine,
+        ):
+            return cls._build(graph, engine)
+
+    @classmethod
+    def _build(cls, graph: MultiGraph, engine: str) -> "TutteDecomposition":
         find_separation = _FINDERS[engine]
         if graph.num_edges == 0:
             raise DecompositionError("cannot decompose an empty graph")

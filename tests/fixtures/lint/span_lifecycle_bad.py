@@ -1,0 +1,40 @@
+"""Bad twin for span-lifecycle: dropped, leaked and straight-line spans.
+
+Lines expected to be flagged carry the trailing fixture marker; the
+fixture test asserts the checker reports exactly those lines.
+"""
+
+from repro.obs.trace import Tracer
+
+
+def never_closed(tracer: Tracer):
+    span = tracer.begin("phase.work")  # LINT
+    return do_work()
+
+
+def dropped(tracer: Tracer) -> None:
+    tracer.begin("phase.fire-and-forget")  # LINT
+
+
+def straight_line(tracer: Tracer):
+    span = tracer.begin("phase.work")  # LINT
+    result = do_work()
+    span.end()
+    return result
+
+
+def risky_gap(tracer: Tracer):
+    span = tracer.begin("phase.work")  # LINT
+    prepared = do_work()
+    try:
+        return consume(prepared)
+    finally:
+        span.end()
+
+
+def do_work():
+    return None
+
+
+def consume(value):
+    return value

@@ -1,0 +1,50 @@
+"""Good twin for span-lifecycle: every begun span secured or handed off."""
+
+from repro.obs.trace import Tracer
+
+
+class Entry:
+    span = None
+
+
+def try_finally(tracer: Tracer):
+    span = tracer.begin("phase.work")
+    try:
+        return do_work()
+    finally:
+        span.end()
+
+
+def guarded_handoff(tracer: Tracer):
+    span = tracer.begin("phase.dispatch")
+    try:
+        enqueue(span.span_id)
+    except BaseException:
+        span.abort()
+        raise
+    return span
+
+
+def attribute_store(tracer: Tracer, entry: Entry) -> None:
+    entry.span = tracer.begin("phase.task")
+
+
+def settle(entry: Entry) -> None:
+    entry.span.end()
+
+
+def crash(entry: Entry) -> None:
+    entry.span.abort()
+
+
+def context_manager(tracer: Tracer):
+    with tracer.span("phase.scoped"):
+        return do_work()
+
+
+def do_work():
+    return None
+
+
+def enqueue(span_id: str) -> None:
+    del span_id

@@ -313,6 +313,7 @@ class TestComponentCertification:
             "certify": True,
             "split_components": False,
             "parallel": None,
+            "trace": None,
         }
 
 

@@ -74,6 +74,7 @@ class TestFixtureTwins:
         "rule,stem",
         [
             ("shm-lifecycle", "shm_lifecycle"),
+            ("span-lifecycle", "span_lifecycle"),
             ("spawn-safety", "spawn_safety"),
             ("flag-parity", "flag_parity"),
             ("exception-contract", "exception_contract"),
@@ -93,6 +94,7 @@ class TestFixtureTwins:
         "rule,stem",
         [
             ("shm-lifecycle", "shm_lifecycle"),
+            ("span-lifecycle", "span_lifecycle"),
             ("spawn-safety", "spawn_safety"),
             ("flag-parity", "flag_parity"),
             ("exception-contract", "exception_contract"),
