@@ -104,11 +104,13 @@ from .certify import (
 )
 from .serve import ServePool
 from .parallel import ParallelSolver
+from .incremental import IncrementalSolver, ResultCache
 from .errors import (
     AlignmentError,
     CertificationError,
     DecompositionError,
     GraphError,
+    IncrementalError,
     InvalidEnsembleError,
     LintError,
     NotC1PError,
@@ -131,6 +133,8 @@ __all__ = [
     "solve_many",
     "ServePool",
     "ParallelSolver",
+    "IncrementalSolver",
+    "ResultCache",
     "KERNELS",
     "ENGINES",
     "SolverStats",
@@ -164,6 +168,7 @@ __all__ = [
     "DecompositionError",
     "AlignmentError",
     "PQTreeError",
+    "IncrementalError",
     "PRAMError",
     "LintError",
     "__version__",

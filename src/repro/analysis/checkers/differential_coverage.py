@@ -45,6 +45,10 @@ FAST_PATH_MODULES = (
     "repro.certify.witness",
     "repro.parallel.solver",
     "repro.parallel.executor",
+    "repro.pqtree.pqtree",
+    "repro.incremental.solver",
+    "repro.incremental.canon",
+    "repro.incremental.cache",
 )
 
 TEST_NAME_PATTERN = re.compile(r"differential|stress|fuzz|corpus")

@@ -39,7 +39,10 @@ from ..core import Finding, ModuleInfo, Project, terminal_name
 RULE = "flag-parity"
 
 #: the solver flags whose forwarding the rule enforces.
-TRACKED = ("certify", "circular", "engine", "kernel", "parallel", "trace")
+TRACKED = (
+    "cache", "certify", "circular", "engine", "incremental", "kernel",
+    "parallel", "trace",
+)
 
 
 def _tracked_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:

@@ -273,6 +273,8 @@ def solve_many(
     pool=None,
     parallel: int | None = None,
     trace=None,
+    cache=None,
+    incremental: bool = False,
 ) -> list[BatchResult]:
     """Solve every ensemble, optionally fanning work out over processes.
 
@@ -331,6 +333,16 @@ def solve_many(
         ``processes=`` fan-out runs untraced — a fresh
         ``ProcessPoolExecutor`` has no result channel for span records,
         unlike the pool's and the slice executor's single-writer pipes.
+    cache:
+        A :class:`repro.incremental.ResultCache` fronting the pool:
+        relabeled duplicate instances are answered from the store instead
+        of re-solved.  Requires ``pool=``; see
+        :meth:`repro.serve.ServePool.solve_stream`.
+    incremental:
+        Delta mode — ``ensembles`` is then an iterable of session deltas
+        (``("open", n)`` / ``("add", columns)`` / ``("remove", columns)``)
+        driven through one worker-pinned PQ-tree session.  Requires
+        ``pool=``; mutually exclusive with ``cache=``.
 
     Returns
     -------
@@ -347,6 +359,14 @@ def solve_many(
                 "(workers across instances) are mutually exclusive; pick one "
                 "axis of fan-out"
             )
+    if cache is not None or incremental:
+        if pool is None:
+            raise ValueError(
+                "cache= and incremental= are serving-layer features: pass a "
+                "warm repro.serve.ServePool via pool= (or use "
+                "repro.incremental.cached_solve / IncrementalSolver for the "
+                "in-process equivalents)"
+            )
     if pool is not None:
         return pool.solve_many(
             ensembles,
@@ -357,6 +377,8 @@ def solve_many(
             certify=certify,
             parallel=parallel,
             trace=trace,
+            cache=cache,
+            incremental=incremental,
         )
     instances = list(ensembles)
     split = _split_mode(split_components, circular)

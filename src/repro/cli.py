@@ -313,6 +313,25 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "worker-side spans stitched back over the result pipes) and "
         "write it to FILE as JSON lines",
     )
+    parser.add_argument(
+        "--cache",
+        type=int,
+        default=0,
+        metavar="N",
+        help="front the pool with a canonical-form result cache holding up "
+        "to N instances: relabeled duplicates are answered from the store "
+        "(remapped onto their own labels) instead of re-solved; hit/miss/"
+        "eviction counters land in the closing stats line (0 = off)",
+    )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="delta mode: input lines are session deltas instead of "
+        'matrices — {"op": "open", "n": 5} first, then {"op": "add", '
+        '"column": [0, 2]} / {"op": "remove", "column": [...]} — applied '
+        "in order to one worker-pinned PQ-tree session, one result line "
+        "per delta (incompatible with --cache, --columns and --unordered)",
+    )
     return parser
 
 
@@ -671,6 +690,43 @@ def parse_instance_line(line: str, lineno: int) -> tuple[object, list[list[int]]
     return instance_id, rows
 
 
+def parse_delta_line(line: str, lineno: int) -> tuple[str, object]:
+    """Decode one ``--incremental`` JSON line into an ``(op, value)`` delta.
+
+    ``{"op": "open", "n": 5}`` yields ``("open", 5)``; ``{"op": "add",
+    "column": [0, 2]}`` / ``{"op": "remove", ...}`` yield the column's
+    atom indices.  Structural problems raise ``SystemExit`` naming the
+    line, exactly like :func:`parse_instance_line`.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"line {lineno}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or "op" not in payload:
+        raise SystemExit(f"line {lineno}: delta object lacks an 'op' key")
+    op = payload["op"]
+    if op == "open":
+        n = payload.get("n")
+        if not isinstance(n, int) or n < 1:
+            raise SystemExit(
+                f"line {lineno}: 'open' needs a positive integer 'n'"
+            )
+        return op, n
+    if op in ("add", "remove"):
+        column = payload.get("column")
+        if not isinstance(column, list) or not all(
+            isinstance(a, int) and a >= 0 for a in column
+        ):
+            raise SystemExit(
+                f"line {lineno}: {op!r} needs a 'column' list of "
+                f"non-negative atom indices"
+            )
+        return op, column
+    raise SystemExit(
+        f"line {lineno}: unknown op {op!r}; expected 'open', 'add' or 'remove'"
+    )
+
+
 def serve_main(argv: Sequence[str]) -> int:
     """Entry point of ``python -m repro serve``."""
     from .serve import ServePool
@@ -679,6 +735,15 @@ def serve_main(argv: Sequence[str]) -> int:
     args = parser.parse_args(argv)
     if args.processes < 0:
         parser.error(f"--processes must be >= 0, got {args.processes}")
+    if args.cache < 0:
+        parser.error(f"--cache must be >= 0, got {args.cache}")
+    if args.incremental and args.cache:
+        parser.error("--incremental and --cache are mutually exclusive")
+    if args.incremental and (args.columns or args.unordered):
+        parser.error(
+            "--incremental reads deltas, not matrices: --columns and "
+            "--unordered do not apply"
+        )
 
     handle = (
         sys.stdin
@@ -700,6 +765,15 @@ def serve_main(argv: Sequence[str]) -> int:
             ids.append(instance_id)
             yield matrix.column_ensemble() if args.columns else matrix.row_ensemble()
 
+    def _deltas():
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            delta = parse_delta_line(line, lineno)
+            ids.append(lineno)
+            yield delta
+
     tracer = None
     if args.trace:
         from .obs import Tracer
@@ -707,21 +781,32 @@ def serve_main(argv: Sequence[str]) -> int:
         tracer = Tracer()
     start = time.perf_counter()
     solved = 0
+    cache = None
+    cache_stats = None
     try:
         with ServePool(args.processes, max_inflight=args.max_inflight) as pool:
+            if args.cache:
+                from .incremental import ResultCache
+
+                cache = ResultCache(args.cache, metrics=pool.metrics)
             stream = pool.solve_stream(
-                _instances(),
+                _deltas() if args.incremental else _instances(),
                 circular=args.circular,
                 kernel=args.kernel,
                 engine=args.engine,
                 certify=args.certify,
-                ordered=not args.unordered,
+                ordered=not (args.unordered or args.incremental),
                 trace=tracer,
+                cache=cache,
+                incremental=args.incremental,
             )
             for result in stream:
                 solved += result.ok
                 record = dict(result.summary(), id=ids[result.index])
                 print(json.dumps(record, default=str), flush=True)
+            cache_stats = (
+                pool.metrics_snapshot() if args.cache and not args.quiet else None
+            )
     finally:
         if handle is not sys.stdin:
             handle.close()
@@ -733,11 +818,25 @@ def serve_main(argv: Sequence[str]) -> int:
 
     if not args.quiet:
         rate = len(ids) / elapsed if elapsed > 0 else float("inf")
+        noun = "deltas" if args.incremental else "instances"
         print(
-            f"{len(ids)} instances in {elapsed:.3f}s "
-            f"({rate:.1f} instances/sec, {solved} with the property)",
+            f"{len(ids)} {noun} in {elapsed:.3f}s "
+            f"({rate:.1f} {noun}/sec, {solved} with the property)",
             file=sys.stderr,
         )
+        if cache_stats is not None:
+            hits = int(cache_stats.get("cache.hits", {}).get("value", 0))
+            misses = int(cache_stats.get("cache.misses", {}).get("value", 0))
+            coalesced = int(
+                cache_stats.get("cache.coalesced", {}).get("value", 0)
+            )
+            evictions = int(cache_stats.get("cache.evictions", {}).get("value", 0))
+            print(
+                f"cache: {hits} hits, {misses} misses "
+                f"({coalesced} coalesced onto in-flight solves), "
+                f"{evictions} evictions",
+                file=sys.stderr,
+            )
     return 0 if solved == len(ids) else 1
 
 

@@ -70,6 +70,17 @@ class NotC1PError(ReproError):
         self.witness = witness
 
 
+class IncrementalError(ReproError):
+    """Raised by the incremental serving layer (:mod:`repro.incremental`).
+
+    Examples: adding a column that references atoms outside the session
+    universe, removing a column no accepted column matches, or applying an
+    unknown delta operation.  A *refused* add — the column cannot join the
+    consecutive arrangement — is not an error: it is reported as a
+    rejected :class:`~repro.incremental.DeltaOutcome`, witness included.
+    """
+
+
 class ServeError(ReproError):
     """Raised by the persistent serving pool (:mod:`repro.serve`).
 

@@ -1,0 +1,297 @@
+"""Canonical forms of indexed instances, modulo atom/column relabeling.
+
+The serving cache (:mod:`repro.incremental.cache`) needs to recognise that
+two requests are *the same instance with the labels shuffled* — relabeled
+duplicates dominate replayed traffic — and to recover the permutation that
+maps a cached answer back onto the request's labels.  Both come from one
+construction over the packed wire representation (dense atom indices,
+bitmask columns — the PR 4 format):
+
+1. **Degree-sequence refinement.**  Atoms and columns are colored by
+   iterated signature: a column's signature is the multiset of its atoms'
+   colors, an atom's signature its own color plus the multiset of colors
+   of the columns containing it.  The fixpoint partition is
+   relabeling-invariant, and hashing its column signatures yields the
+   cache ``key`` — relabelings of one instance always hash identically.
+2. **Individualization.**  Refinement alone may leave symmetric atoms in
+   one color class.  Mutual twins (identical column membership) are
+   interchangeable — any tie-break yields the same canonical masks — and
+   are split without branching.  Genuinely symmetric non-twin classes are
+   resolved by branching on each member, refining, and keeping the
+   lexicographically minimal final mask tuple: the standard
+   individualization-refinement canonical labeling, so isomorphic
+   instances produce *identical* canonical masks and a cache probe is a
+   tuple comparison, never an isomorphism search.
+3. **Budget.**  The branching is exponential in the worst case, so it is
+   metered: when the refinement-pass budget runs out the form falls back
+   to the refinement partition with an index tie-break.  The fallback is
+   still a genuine isomorphism onto its canonical masks — cached answers
+   remapped through it stay correct — it merely stops being
+   relabeling-invariant, so relabeled duplicates may miss (``exact`` is
+   ``False``; the cache counts these).
+
+``atom_perm``/``col_perm`` map original positions to canonical ones; the
+cache applies their inverses to canonical-space layouts and witnesses on
+the way out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..core.bitset import mask_to_indices
+from ..core.indexed import IndexedEnsemble
+from ..ensemble import Ensemble
+
+__all__ = ["CanonicalForm", "canonical_form", "canonical_ensemble"]
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """One instance canonicalized modulo atom/column relabeling."""
+
+    #: relabeling-invariant cache key (hex digest over the refinement
+    #: fixpoint — equal for every relabeling of the instance, exact or not)
+    key: str
+    num_atoms: int
+    #: canonical column masks over canonical atom indices, sorted
+    masks: tuple
+    #: ``atom_perm[original_atom_index] -> canonical_atom_index``
+    atom_perm: tuple
+    #: ``col_perm[original_column_index] -> canonical_column_position``
+    col_perm: tuple
+    #: True when the individualization search completed within budget, so
+    #: isomorphic instances are guaranteed identical canonical masks
+    exact: bool
+
+    def inverse_atom_perm(self) -> tuple:
+        inverse = [0] * len(self.atom_perm)
+        for original, canonical in enumerate(self.atom_perm):
+            inverse[canonical] = original
+        return tuple(inverse)
+
+    def inverse_col_perm(self) -> tuple:
+        inverse = [0] * len(self.col_perm)
+        for original, canonical in enumerate(self.col_perm):
+            inverse[canonical] = original
+        return tuple(inverse)
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the individualization search ran out of refinement passes."""
+
+
+def _incidence(num_atoms: int, masks: tuple) -> tuple[list[list[int]], list[list[int]]]:
+    """Both incidence directions, decoded from the masks exactly once.
+
+    ``col_atoms[j]`` is column ``j``'s sorted atom list, ``incident[i]``
+    the columns containing atom ``i`` — every refinement pass reuses
+    these instead of re-decoding bitmasks.
+    """
+    col_atoms = [mask_to_indices(mask) for mask in masks]
+    incident: list[list[int]] = [[] for _ in range(num_atoms)]
+    for j, atoms in enumerate(col_atoms):
+        for i in atoms:
+            incident[i].append(j)
+    return col_atoms, incident
+
+
+def _rank(values: list) -> list[int]:
+    """Replace each value by its rank among the sorted distinct values."""
+    order = {value: rank for rank, value in enumerate(sorted(set(values)))}
+    return [order[value] for value in values]
+
+
+def _refine(
+    colors: list[int],
+    col_atoms: list[list[int]],
+    incident: list[list[int]],
+    budget: list[int],
+) -> tuple[list[int], list[tuple]]:
+    """Iterate the color-passing until the atom partition stabilises.
+
+    Returns the refined atom colors and the final column signatures (the
+    label-free data the cache key hashes).  Decrements ``budget[0]`` once
+    per call and raises :class:`_BudgetExhausted` at zero.
+    """
+    budget[0] -= 1
+    if budget[0] < 0:
+        raise _BudgetExhausted
+    num_colors = len(set(colors))
+    col_sigs: list[tuple] = [()] * len(col_atoms)
+    while True:
+        col_sigs = [
+            tuple(sorted([colors[i] for i in atoms])) for atoms in col_atoms
+        ]
+        col_colors = _rank(col_sigs)
+        atom_sigs = [
+            (colors[i], tuple(sorted([col_colors[j] for j in incident[i]])))
+            for i in range(len(colors))
+        ]
+        refined = _rank(atom_sigs)
+        refined_count = len(set(refined))
+        if refined_count == num_colors:
+            return refined, col_sigs
+        colors, num_colors = refined, refined_count
+
+
+def _canonical_masks(colors: list[int], col_atoms: list[list[int]]) -> tuple:
+    """The sorted mask tuple under the discrete coloring ``colors``."""
+    perm = _discrete_perm(colors)
+    return tuple(
+        sorted(sum(1 << perm[i] for i in atoms) for atoms in col_atoms)
+    )
+
+
+def _discrete_perm(colors: list[int]) -> list[int]:
+    """``perm[original] -> canonical`` from a (tie-broken) coloring.
+
+    Ties between equal colors break by original index, which makes the
+    result deterministic for a *given* instance even when the coloring is
+    not discrete (the inexact fallback).
+    """
+    order = sorted(range(len(colors)), key=lambda i: (colors[i], i))
+    perm = [0] * len(colors)
+    for canonical, original in enumerate(order):
+        perm[original] = canonical
+    return perm
+
+
+def _search(
+    colors: list[int],
+    col_atoms: list[list[int]],
+    incident: list[list[int]],
+    budget: list[int],
+) -> list[int]:
+    """Individualization-refinement: return a discrete coloring whose
+    induced mask tuple is minimal over all refinement-compatible labelings.
+
+    ``colors`` must already be refined.  Mutual-twin classes (identical
+    column membership) are interchangeable — every member order induces
+    the same masks — so the *whole* class is split by index in one step,
+    one refinement pass per class instead of one per member.
+    """
+    while True:
+        classes: dict[int, list[int]] = {}
+        for i, color in enumerate(colors):
+            classes.setdefault(color, []).append(i)
+        target = None
+        position: dict[int, int] = {}
+        for color in sorted(classes):
+            members = classes[color]
+            if len(members) <= 1:
+                continue
+            if len({frozenset(incident[i]) for i in members}) == 1:
+                # Mutual twins: identical incidence rows stay identical
+                # under every refinement, so swapping members is an
+                # automorphism — split the whole class by index.
+                for rank, atom in enumerate(members):
+                    position[atom] = rank
+            elif target is None:
+                target = members
+        if position:
+            split = _rank(
+                [
+                    (colors[i], position.get(i, -1))
+                    for i in range(len(colors))
+                ]
+            )
+            colors, _ = _refine(split, col_atoms, incident, budget)
+            continue
+        if target is None:
+            return colors
+
+        best: tuple | None = None
+        best_colors = colors  # target is non-empty: the loop always rebinds
+        for member in target:
+            refined, _ = _refine(
+                _individualize(colors, member), col_atoms, incident, budget
+            )
+            leaf = _search(refined, col_atoms, incident, budget)
+            form = _canonical_masks(leaf, col_atoms)
+            if best is None or form < best:
+                best, best_colors = form, leaf
+        return best_colors
+
+
+def _individualize(colors: list[int], member: int) -> list[int]:
+    """Split ``member`` into its own class, ordered before its old class."""
+    return _rank(
+        [
+            (colors[i], 0 if i == member else 1)
+            for i in range(len(colors))
+        ]
+    )
+
+
+def _as_indexed(source) -> IndexedEnsemble:
+    if isinstance(source, IndexedEnsemble):
+        return source
+    if isinstance(source, Ensemble):
+        return IndexedEnsemble.from_ensemble(source)
+    num_atoms, masks = source
+    return IndexedEnsemble(tuple(range(num_atoms)), tuple(masks))
+
+
+def canonical_form(source, *, budget: int = 512) -> CanonicalForm:
+    """Canonicalize an instance (``Ensemble``, ``IndexedEnsemble``, or a
+    ``(num_atoms, masks)`` pair) modulo atom/column relabeling.
+
+    ``budget`` caps the refinement passes spent on individualization;
+    exhausting it degrades to an inexact (still correct, possibly
+    cache-missing) form — see the module docstring.
+    """
+    indexed = _as_indexed(source)
+    n = indexed.num_atoms
+    masks = tuple(indexed.masks)
+    col_atoms, incident = _incidence(n, masks)
+
+    free = [1]  # the initial refinement is always within budget
+    base_colors, col_sigs = _refine([0] * n, col_atoms, incident, free)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr((n, len(masks), tuple(sorted(col_sigs)))).encode())
+    key = digest.hexdigest()
+
+    remaining = [budget]
+    try:
+        final_colors = _search(
+            list(base_colors), col_atoms, incident, remaining
+        )
+        exact = True
+    except _BudgetExhausted:
+        final_colors = base_colors
+        exact = False
+
+    atom_perm = _discrete_perm(final_colors)
+    canon_of = [
+        sum(1 << atom_perm[i] for i in atoms) for atoms in col_atoms
+    ]
+    col_order = sorted(range(len(masks)), key=lambda j: (canon_of[j], j))
+    col_perm = [0] * len(masks)
+    for position, original in enumerate(col_order):
+        col_perm[original] = position
+    return CanonicalForm(
+        key=key,
+        num_atoms=n,
+        masks=tuple(canon_of[j] for j in col_order),
+        atom_perm=tuple(atom_perm),
+        col_perm=tuple(col_perm),
+        exact=exact,
+    )
+
+
+def canonical_ensemble(form: CanonicalForm) -> Ensemble:
+    """The canonical instance itself: dense int atoms, canonical columns.
+
+    This is what the cache's miss path actually solves — relabelings that
+    canonicalize identically then receive byte-identical canonical-space
+    answers, which is what makes cache hits indistinguishable from misses
+    after remapping.
+    """
+    return Ensemble(
+        tuple(range(form.num_atoms)),
+        tuple(
+            frozenset(mask_to_indices(mask)) for mask in form.masks
+        ),
+    )

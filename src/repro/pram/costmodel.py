@@ -43,6 +43,8 @@ __all__ = [
     "dispatch_cost_ratio",
     "pool_startup_work",
     "serve_fleet_dispatch_work",
+    "incremental_update_work",
+    "cache_probe_work",
     "parallel_fanout_worthwhile",
     "batch_split_savings",
     "paper_depth_bound",
@@ -259,6 +261,42 @@ def serve_fleet_dispatch_work(
     return pool_startup_work(workers, cold=cold) + max(0, instances) * (
         (per_task + 7) // 8
     )
+
+
+def incremental_update_work(n: int, m: int, *, op: str = "add") -> int:
+    """Work charged for one delta against a live session of ``m`` columns.
+
+    An ``add`` is a single Booth–Lueker reduction against the current
+    tree: the pertinent subtree is bounded by the ``n`` leaves plus the
+    internal nodes (at most ``n`` again), so the charge is ``2n`` — *not*
+    a function of ``m``, which is the whole point of keeping the session
+    warm.  A ``remove`` pays for the closed-under-deletion rebuild: the
+    surviving ``m - 1`` columns replay one reduction each.  ``open``
+    charges the fresh universal tree.
+    """
+    if op == "add":
+        return 2 * max(1, n)
+    if op == "remove":
+        return max(0, m - 1) * 2 * max(1, n) + max(1, n)
+    if op == "open":
+        return max(1, n)
+    raise ValueError(f"unknown delta op {op!r}")
+
+
+def cache_probe_work(n: int, m: int, *, exact: bool = True) -> int:
+    """Work charged for one canonical-form cache probe.
+
+    Colour refinement sweeps the full ``n × m`` incidence once per pass
+    and stabilises within ``O(log n)`` passes (each pass strictly grows
+    the number of colour classes); the key hash adds one sweep of the
+    ``m`` sorted column signatures.  ``exact=False`` (budget-exhausted
+    canonicalization) skips the individualization search and is charged a
+    single refinement fixpoint — the fallback is cheaper *and* weaker,
+    which is why the cache counts it separately (``cache.inexact_forms``).
+    """
+    passes = log2(max(2, n))
+    sweeps = passes if not exact else passes + log2(max(2, m))
+    return int(max(1, n) * max(1, m) * sweeps) + max(1, m)
 
 
 # ---------------------------------------------------------------------- #

@@ -31,14 +31,18 @@ from __future__ import annotations
 from ..errors import ServeError, WireFormatError
 from .pool import ServeFuture, ServePool
 from .wire import (
+    DELTA_MAGIC,
     WIRE_MAGIC,
     WIRE_VERSION,
+    DeltaFrame,
     attach_payload,
     attach_segment,
     ensure_shared_tracker,
     create_segment,
+    pack_delta,
     pack_ensemble,
     packed_size,
+    unpack_delta,
     unpack_ensemble,
 )
 
@@ -49,8 +53,12 @@ __all__ = [
     "WireFormatError",
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "DELTA_MAGIC",
+    "DeltaFrame",
     "pack_ensemble",
     "unpack_ensemble",
+    "pack_delta",
+    "unpack_delta",
     "packed_size",
     "create_segment",
     "attach_segment",

@@ -63,9 +63,11 @@ from ..batch import (
     _linear_component_ensembles,
     _split_mode,
 )
+from ..core.bitset import mask_from_indices, mask_to_indices
 from ..core.indexed import IndexedEnsemble
 from ..ensemble import Ensemble
-from ..errors import ServeError
+from ..errors import IncrementalError, ServeError
+from ..incremental.solver import OP_ADD, OP_OPEN, OP_REMOVE
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer, current_tracer, use_tracer
 from . import wire
@@ -75,9 +77,9 @@ Atom = Hashable
 __all__ = ["ServePool", "ServeFuture"]
 
 #: bundle-entry kind bytes understood by the worker loop.
-_K_SOLVE, _K_SOLVE_CERTIFY, _K_CERTIFY = 0, 1, 2
+_K_SOLVE, _K_SOLVE_CERTIFY, _K_CERTIFY, _K_DELTA = 0, 1, 2, 3
 #: stream stages (tags carried on futures).
-_SOLVE, _CERTIFY = "solve", "certify"
+_SOLVE, _CERTIFY, _DELTA = "solve", "certify", "delta"
 
 
 # ---------------------------------------------------------------------- #
@@ -127,6 +129,72 @@ def _solve_entry(kind, payload, circular, kernel, engine, tracer):
     return (order, witness_json)
 
 
+def _delta_entry(sessions, payload, kernel, engine, tracer):
+    """Apply one delta frame to this worker's session table.
+
+    Returns the same ``(order, witness_json)`` outcome shape as
+    :func:`_solve_entry`: an accepted delta carries the session's new
+    frontier layout, a refused one ``(None, witness-or-None)``.  Replay
+    frames (crash recovery re-ships of already-answered deltas) skip
+    witness extraction — their results were delivered before the crash
+    and the parent discards the replayed outcomes anyway.
+    """
+    frame = wire.unpack_delta(payload, exact=True)
+    if tracer is not None:
+        with tracer.span("serve.delta", op=frame.op, session=frame.session_id):
+            return _delta_apply(sessions, frame, kernel, engine)
+    return _delta_apply(sessions, frame, kernel, engine)
+
+
+def _delta_apply(sessions, frame, kernel, engine):
+    from ..incremental.solver import IncrementalSolver
+
+    if frame.op == wire.DELTA_OPEN:
+        solver = IncrementalSolver(
+            range(frame.num_atoms),
+            circular=bool(frame.flags & wire.DELTA_FLAG_CIRCULAR),
+            kernel=kernel,
+            engine=engine,
+        )
+        # OPEN resets the slot unconditionally: a crash-recovery replay
+        # always starts with the session's OPEN frame, so stale state
+        # left by an earlier pin to this worker can never leak in.
+        sessions[frame.session_id] = (
+            solver,
+            bool(frame.flags & wire.DELTA_FLAG_CERTIFY),
+        )
+        return (list(solver.layout()), None)
+    entry = sessions.get(frame.session_id)
+    if entry is None:
+        raise ServeError(
+            f"delta frame for unknown session {frame.session_id}: the "
+            f"session was never opened on this worker and the bundle "
+            f"carries no replay prefix"
+        )
+    solver, certify = entry
+    column = mask_to_indices(frame.mask)
+    if frame.op == wire.DELTA_ADD:
+        replay = bool(frame.flags & wire.DELTA_FLAG_REPLAY)
+        outcome = solver.add_column(column, certify=certify and not replay)
+        if outcome.accepted:
+            return (list(outcome.order), None)
+        witness = (
+            outcome.certificate.to_json()
+            if outcome.certificate is not None
+            else None
+        )
+        return (None, witness)
+    try:
+        outcome = solver.remove_column(column)
+    except IncrementalError:
+        # A remove matching no accepted column is *refused*, not fatal:
+        # the solver state is untouched, so the session stays replayable
+        # and the parent reports a rejected outcome instead of tearing
+        # the whole stream down.
+        return (None, None)
+    return (list(outcome.order), None)
+
+
 def _worker_loop(task_q, result_conn) -> None:
     """Run in each worker process: attach, rebuild, solve, report, repeat.
 
@@ -139,7 +207,14 @@ def _worker_loop(task_q, result_conn) -> None:
     them into the submitting trace.  Results go back over a per-worker
     pipe with this process as its only writer, which keeps crash recovery
     lock-free (see the module docstring).
+
+    ``sessions`` is the worker-local delta-session table: incremental
+    solvers keyed by session id, populated by ``C1PD`` OPEN frames and
+    mutated in place by ADD/REMOVE frames.  It lives in this process
+    only — the parent's replay log (acked frames per session) is the
+    durable copy that rebuilds it on a respawned worker.
     """
+    sessions: dict = {}
     while True:
         item = task_q.get()
         if item is None:
@@ -165,12 +240,18 @@ def _worker_loop(task_q, result_conn) -> None:
                 with use_tracer(tracer):
                     with tracer.span("worker.serve.task", entries=len(entries)):
                         outcomes = [
-                            _solve_entry(k, p, circular, kernel, engine, tracer)
+                            _delta_entry(sessions, p, kernel, engine, tracer)
+                            if k == _K_DELTA
+                            else _solve_entry(
+                                k, p, circular, kernel, engine, tracer
+                            )
                             for k, p in entries
                         ]
             else:
                 outcomes = [
-                    _solve_entry(k, p, circular, kernel, engine, None)
+                    _delta_entry(sessions, p, kernel, engine, None)
+                    if k == _K_DELTA
+                    else _solve_entry(k, p, circular, kernel, engine, None)
                     for k, p in entries
                 ]
             meta = (
@@ -250,10 +331,14 @@ class _Inflight:
 
     __slots__ = (
         "task_id", "item", "segment", "future", "worker", "retries",
-        "done_q", "single", "span", "trace", "enqueued",
+        "done_q", "single", "span", "trace", "enqueued", "session",
+        "entries",
     )
 
-    def __init__(self, task_id, item, segment, future, worker, done_q, single):
+    def __init__(
+        self, task_id, item, segment, future, worker, done_q, single,
+        session=None, entries=None,
+    ):
         self.task_id = task_id
         self.item = item
         self.segment = segment
@@ -265,6 +350,29 @@ class _Inflight:
         self.span = None          # parent-side serve.task span, if traced
         self.trace = None         # the Tracer that owns it (stitch target)
         self.enqueued = 0.0
+        self.session = session    # _DeltaSession this bundle belongs to
+        self.entries = entries    # logical (un-replayed) entries, sessions only
+
+
+class _DeltaSession:
+    """Parent-side state of one incremental delta session.
+
+    The pool pins a session to one worker (its in-process PQ-tree lives
+    there) and keeps the *acked* frame log — every delta frame whose
+    result has been delivered to the caller.  When the pinned worker
+    dies, the next bundle (or the crashed one's re-dispatch) is prefixed
+    with the acked log re-marked as replay frames, which rebuilds the
+    worker-local solver byte-deterministically before the new deltas
+    apply.
+    """
+
+    __slots__ = ("session_id", "num_atoms", "worker", "acked")
+
+    def __init__(self, session_id: int) -> None:
+        self.session_id = session_id
+        self.num_atoms = 0
+        self.worker: "_Worker | None" = None
+        self.acked: list[bytes] = []
 
 
 def _unlink_quietly(segment: shared_memory.SharedMemory) -> None:
@@ -336,6 +444,7 @@ class ServePool:
         self._idle = threading.Condition(self._lock)
         self._pending: dict[int, _Inflight] = {}
         self._counter = itertools.count()
+        self._session_counter = itertools.count(1)
         self._slots = threading.BoundedSemaphore(self.max_inflight)
         self._closed = False
         self._stop = threading.Event()
@@ -501,6 +610,7 @@ class ServePool:
         tag,
         single: bool,
         trace: "Tracer | None" = None,
+        session: "_DeltaSession | None" = None,
     ) -> ServeFuture:
         """Ship one bundle of packed entries; blocks on the in-flight window."""
         frame = wire.pack_bundle(entries)
@@ -531,6 +641,31 @@ class ServePool:
                 if self._closed:
                     raise ServeError("cannot submit to a closed pool")
                 task_id = next(self._counter)
+                worker = None
+                if session is not None:
+                    pinned = session.worker
+                    if (
+                        pinned is not None
+                        and pinned in self._workers
+                        and pinned.process.is_alive()
+                    ):
+                        worker = pinned
+                    else:
+                        # The session's worker is gone (or this is the
+                        # first bundle): pin afresh and rebuild its state
+                        # by replaying the acked frame log ahead of the
+                        # new deltas, in one bundle, on the new worker.
+                        worker = self._pick_worker()
+                        if session.acked:
+                            frame = wire.pack_bundle(
+                                [
+                                    (_K_DELTA, wire.mark_delta_replay(acked))
+                                    for acked in session.acked
+                                ]
+                                + entries
+                            )
+                            self.metrics.counter("serve.delta_replays").inc()
+                    session.worker = worker
                 segment = wire.create_segment(frame)
                 try:
                     if tracer.enabled:
@@ -543,10 +678,13 @@ class ServePool:
                         task_id, segment.name, circular, kernel, engine,
                         span.span_id if span is not None else None,
                     )
-                    worker = self._pick_worker()
+                    if worker is None:
+                        worker = self._pick_worker()
                     future = ServeFuture(tag)
                     inflight = _Inflight(
-                        task_id, item, segment, future, worker, done_q, single
+                        task_id, item, segment, future, worker, done_q,
+                        single, session=session,
+                        entries=entries if session is not None else None,
                     )
                     if span is not None:
                         inflight.span = span
@@ -705,6 +843,26 @@ class ServePool:
                         ),
                     )
                     continue
+                if inflight.session is not None:
+                    # A delta bundle cannot be re-shipped verbatim: the
+                    # crashed worker held the session's solver.  Rebuild
+                    # the segment with the acked frame log (marked as
+                    # replay) ahead of this bundle's own frames, so the
+                    # target worker reconstructs the session and then
+                    # applies the un-answered deltas for real.
+                    frame = wire.pack_bundle(
+                        [
+                            (_K_DELTA, wire.mark_delta_replay(acked))
+                            for acked in inflight.session.acked
+                        ]
+                        + inflight.entries
+                    )
+                    _unlink_quietly(inflight.segment)
+                    inflight.segment = wire.create_segment(frame)
+                    inflight.item = (
+                        inflight.item[0], inflight.segment.name,
+                    ) + inflight.item[2:]
+                    self.metrics.counter("serve.delta_replays").inc()
                 if inflight.span is not None:
                     inflight.span = inflight.trace.begin(
                         "serve.task", parent=parent, retry=inflight.retries
@@ -716,6 +874,8 @@ class ServePool:
                 inflight.worker = target
                 target.inflight.add(inflight.task_id)
                 target.task_q.put(inflight.item)
+                if inflight.session is not None:
+                    inflight.session.worker = target
 
     # ------------------------------------------------------------------ #
     # high-level serving API
@@ -733,6 +893,8 @@ class ServePool:
         chunksize: int | None = None,
         parallel: int | None = None,
         trace: "Tracer | None" = None,
+        cache=None,
+        incremental: bool = False,
     ) -> Iterator[BatchResult]:
         """Stream :class:`~repro.batch.BatchResult`\\ s through the warm pool.
 
@@ -755,6 +917,27 @@ class ServePool:
         tracer does not propagate to threads started after it was set —
         so the tracer captured *here*, on the calling thread, is handed to
         the feeder by closure.
+
+        ``cache=`` takes a :class:`repro.incremental.ResultCache`: each
+        instance is canonicalized and probed before dispatch; hits are
+        answered from the store (remapped onto the instance's own
+        labels), misses solve the *canonical* instance — so hit and miss
+        answers are byte-identical — and populate the cache on the way
+        back.  Cache-routed results carry ``split="cache"`` and are never
+        component-split (stored answers are whole-instance).  Build the
+        cache with ``metrics=pool.metrics`` to fold its hit/miss/eviction
+        counters into :meth:`metrics_snapshot`.
+
+        ``incremental=True`` switches the stream to *delta mode*:
+        ``ensembles`` is then an iterable of deltas — ``("open", n)``
+        first, then any mix of ``("add", columns)`` / ``("remove",
+        columns)`` over atoms ``0..n-1`` — applied in order to one
+        worker-pinned PQ-tree session, one result per delta
+        (``split="delta"``).  A refused add (or a remove matching no
+        accepted column) yields a ``rejected`` result — with a Tucker
+        witness certificate when ``certify`` is set — and leaves the
+        session state untouched.  Delta mode is inherently ordered and
+        mutually exclusive with ``cache=``.
         """
         if parallel is not None:
             raise ServeError(
@@ -763,6 +946,24 @@ class ServePool:
                 "Drop pool= to use repro.parallel, or rely on the pool's "
                 "across-instance fan-out."
             )
+        if incremental:
+            if cache is not None:
+                raise ServeError(
+                    "incremental delta streams cannot be cache-fronted: a "
+                    "session's state depends on its whole delta history, "
+                    "which canonical-form keys do not capture. Pass either "
+                    "cache= or incremental=True, not both."
+                )
+            yield from self._delta_stream(
+                ensembles,
+                circular=circular,
+                kernel=kernel,
+                engine=engine,
+                certify=certify,
+                chunksize=chunksize,
+                trace=trace,
+            )
+            return
         if chunksize is None:
             try:
                 chunksize = max(1, len(ensembles) // (self.num_workers * 4))
@@ -775,6 +976,13 @@ class ServePool:
         # is submitted; read by the consumer only after that bundle's
         # result arrives, so the done_q handoff orders every access.
         states: dict[int, _StreamState] = {}
+        # Miss coalescing: canonical identity -> index of the in-flight
+        # miss solving it.  The feeder registers leaders and attaches
+        # followers; the consumer retires a leader (and fulfills its
+        # followers) when its solve completes.  The lock orders the two
+        # threads; everything else about a follower stays thread-local.
+        coalesce_lock = threading.Lock()
+        leader_of: dict[tuple, int] = {}
 
         feeder_error: list[BaseException] = []
         tracer = trace if trace is not None else current_tracer()
@@ -801,11 +1009,57 @@ class ServePool:
                 count = 0
                 for index, instance in enumerate(ensembles):
                     count += 1
-                    if split == "components":
+                    probe = None
+                    if cache is not None:
+                        probe = cache.probe(
+                            instance,
+                            circular=circular,
+                            certify=certify,
+                            kernel=kernel,
+                            engine=engine,
+                        )
+                        if probe.hit:
+                            # Answered from the store: no dispatch at all.
+                            # The consumer remaps the canonical payload
+                            # onto this instance's labels.
+                            done_q.put(("cached", index, instance, probe))
+                            continue
+                        # Miss: dispatch the *canonical* instance, whole —
+                        # its answer is what the store keeps, and what a
+                        # later hit will remap, so hit and miss paths are
+                        # byte-identical for equal canonical forms.
+                        ckey = (
+                            probe.form.key,
+                            probe.form.num_atoms,
+                            probe.form.masks,
+                            probe.variant,
+                        )
+                        with coalesce_lock:
+                            leader = leader_of.get(ckey)
+                            if leader is not None:
+                                # An equal canonical form is already being
+                                # solved: ride that solve instead of
+                                # dispatching a duplicate.
+                                states[leader].followers.append(
+                                    (index, instance, probe)
+                                )
+                                cache.metrics.counter(
+                                    "cache.coalesced"
+                                ).inc()
+                                continue
+                            leader_of[ckey] = index
+                        subs = [probe.canonical]
+                    elif split == "components":
                         subs = _linear_component_ensembles(instance)
                     else:
                         subs = [instance]
-                    states[index] = _StreamState(index, instance, subs, split)
+                    states[index] = _StreamState(
+                        index, instance, subs,
+                        "cache" if probe is not None else split,
+                        probe=probe,
+                    )
+                    if probe is not None:
+                        states[index].coalesce_key = ckey
                     kind = (
                         _K_SOLVE_CERTIFY
                         if certify and len(subs) == 1
@@ -856,24 +1110,53 @@ class ServePool:
                 if isinstance(message, tuple) and message[0] == "end":
                     total = message[1]
                     continue
-                future = message
-                outcomes = future.result()
-                for (index, part, stage), (order, witness_json) in zip(
-                    future.tag, outcomes
-                ):
-                    result = self._advance(
-                        states[index], part, stage, order, witness_json,
-                        circular, kernel, engine, done_q, certify,
-                        stream_trace,
-                    )
-                    if result is None:
-                        continue
+                if isinstance(message, tuple) and message[0] == "cached":
+                    _, index, instance, probe = message
+                    ready = [
+                        self._cached_result(
+                            index, instance, probe, circular, certify
+                        )
+                    ]
+                else:
+                    future = message
+                    outcomes = future.result()
+                    ready = []
+                    for (index, part, stage), (order, witness_json) in zip(
+                        future.tag, outcomes
+                    ):
+                        state = states[index]
+                        result = self._advance(
+                            state, part, stage, order, witness_json,
+                            circular, kernel, engine, done_q, certify,
+                            stream_trace,
+                        )
+                        if result is None:
+                            continue
+                        if state.coalesce_key is not None:
+                            # Retire the leader under the lock, then
+                            # fulfill every follower from the shared
+                            # canonical payload — each remapped through
+                            # its own probe's permutations.
+                            with coalesce_lock:
+                                leader_of.pop(state.coalesce_key, None)
+                                followers = state.followers
+                                state.followers = []
+                            for f_index, f_instance, f_probe in followers:
+                                f_probe.fulfill(state.canon_payload)
+                                ready.append(
+                                    self._cached_result(
+                                        f_index, f_instance, f_probe,
+                                        circular, certify,
+                                    )
+                                )
+                        states.pop(index, None)
+                        ready.append(result)
+                for result in ready:
                     completed += 1
-                    states.pop(index, None)
                     if not ordered:
                         yield result
                         continue
-                    buffered[index] = result
+                    buffered[result.index] = result
                     while next_index in buffered:
                         yield buffered.pop(next_index)
                         next_index += 1
@@ -914,6 +1197,19 @@ class ServePool:
             combined: list | None = None
         else:
             combined = [atom for piece in state.orders for atom in piece]
+        if state.probe is not None:
+            # Cache miss completing: the worker solved the *canonical*
+            # instance.  Store the canonical-space answer, then carry on
+            # with it remapped onto the request's own labels — exactly
+            # what a hit would have returned.  The canonical payload is
+            # kept for coalesced followers to adopt.
+            state.canon_payload = (
+                None if combined is None else tuple(combined),
+                state.witness_json,
+            )
+            combined, state.witness_json = state.probe.store(
+                combined, state.witness_json
+            )
         state.result = BatchResult(
             index=state.index,
             order=combined,
@@ -954,6 +1250,181 @@ class ServePool:
         )
         return None
 
+    def _cached_result(
+        self, index, instance, probe, circular: bool, certify: bool
+    ) -> BatchResult:
+        """Materialize a cache hit as a :class:`~repro.batch.BatchResult`."""
+        order, witness_json = probe.result()
+        result = BatchResult(
+            index=index,
+            order=None if order is None else list(order),
+            num_atoms=instance.num_atoms,
+            num_columns=instance.num_columns,
+            parts=1,
+            status="realized" if order is not None else "rejected",
+            split="cache",
+        )
+        if certify:
+            if order is not None:
+                from ..certify.certificates import OrderCertificate
+
+                result.certificate = OrderCertificate(
+                    "circular" if circular else "consecutive", tuple(order)
+                )
+            elif witness_json is not None:
+                from ..certify.certificates import certificate_from_json
+
+                result.certificate = certificate_from_json(witness_json)
+        return result
+
+    def _delta_stream(
+        self,
+        deltas,
+        *,
+        circular: bool,
+        kernel: str,
+        engine: str | None,
+        certify: bool,
+        chunksize: int | None,
+        trace: "Tracer | None",
+    ) -> Iterator[BatchResult]:
+        """Drive one incremental session over the pool; one result per delta.
+
+        Strictly sequential by design: at most one bundle of delta frames
+        is in flight, because frame ``k+1``'s outcome depends on the
+        worker-side state left by frame ``k``.  ``chunksize`` frames ride
+        per bundle (default 1: lowest per-delta latency); each bundle's
+        frames are appended to the session's acked log only after its
+        results arrive, so a crash mid-bundle replays exactly the acked
+        prefix plus the unanswered bundle.
+        """
+        from ..certify.certificates import OrderCertificate, certificate_from_json
+
+        if chunksize is None:
+            chunksize = 1
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        tracer = trace if trace is not None else current_tracer()
+        stream_trace = tracer if tracer.enabled else None
+        session = _DeltaSession(next(self._session_counter))
+        self.metrics.counter("serve.delta_sessions").inc()
+        kind = "circular" if circular else "consecutive"
+        num_columns = 0
+
+        def _flush(batch: list[tuple[str, bytes]]) -> list[BatchResult]:
+            nonlocal num_columns
+            future = self._submit_bundle(
+                [(_K_DELTA, frame) for _, frame in batch],
+                circular=circular,
+                kernel=kernel,
+                engine=engine,
+                done_q=None,
+                tag=tuple(
+                    (session.session_id, pos, _DELTA)
+                    for pos in range(len(batch))
+                ),
+                single=False,
+                trace=stream_trace,
+                session=session,
+            )
+            outcomes = future.result()
+            # A crash-recovery re-dispatch prepends replayed acked frames;
+            # only the trailing outcomes answer this bundle.
+            outcomes = outcomes[len(outcomes) - len(batch):]
+            session.acked.extend(frame for _, frame in batch)
+            results = []
+            for (op, _), (order, witness_json) in zip(batch, outcomes):
+                accepted = order is not None
+                if accepted and op == "add":
+                    num_columns += 1
+                elif accepted and op == "remove":
+                    num_columns -= 1
+                self.metrics.counter("serve.delta_frames").inc()
+                result = BatchResult(
+                    index=len(session.acked) - len(batch) + len(results),
+                    order=None if order is None else list(order),
+                    num_atoms=session.num_atoms,
+                    num_columns=num_columns,
+                    parts=1,
+                    status="realized" if accepted else "rejected",
+                    split="delta",
+                )
+                if certify:
+                    if accepted:
+                        result.certificate = OrderCertificate(
+                            kind, tuple(result.order)
+                        )
+                    elif witness_json is not None:
+                        result.certificate = certificate_from_json(
+                            witness_json
+                        )
+                results.append(result)
+            return results
+
+        batch: list[tuple[str, bytes]] = []
+        opened = False
+        for item in deltas:
+            try:
+                op, value = item
+            except (TypeError, ValueError):
+                raise IncrementalError(
+                    f"delta stream items must be (op, value) pairs, "
+                    f"got {item!r}"
+                ) from None
+            if op == OP_OPEN:
+                if opened:
+                    raise IncrementalError(
+                        "a delta stream drives exactly one session; "
+                        "open a second stream for a second session"
+                    )
+                n = int(value)
+                if n < 1:
+                    raise IncrementalError(
+                        f"a session needs at least one atom, got {n}"
+                    )
+                session.num_atoms = n
+                flags = 0
+                if circular:
+                    flags |= wire.DELTA_FLAG_CIRCULAR
+                if certify:
+                    flags |= wire.DELTA_FLAG_CERTIFY
+                frame = wire.pack_delta(
+                    wire.DELTA_OPEN, session.session_id, n, flags=flags
+                )
+                opened = True
+            elif op in (OP_ADD, OP_REMOVE):
+                if not opened:
+                    raise IncrementalError(
+                        f"delta stream must start with an "
+                        f"({OP_OPEN!r}, num_atoms) item, got {op!r} first"
+                    )
+                column = tuple(value)
+                for atom in column:
+                    if not isinstance(atom, int) or not (
+                        0 <= atom < session.num_atoms
+                    ):
+                        raise IncrementalError(
+                            f"column atom {atom!r} outside the session "
+                            f"universe 0..{session.num_atoms - 1}"
+                        )
+                frame = wire.pack_delta(
+                    wire.DELTA_ADD if op == OP_ADD else wire.DELTA_REMOVE,
+                    session.session_id,
+                    session.num_atoms,
+                    mask_from_indices(column),
+                )
+            else:
+                raise IncrementalError(
+                    f"unknown delta op {op!r}; expected one of "
+                    f"{OP_OPEN!r}, {OP_ADD!r}, {OP_REMOVE!r}"
+                )
+            batch.append((op, frame))
+            if len(batch) >= chunksize:
+                yield from _flush(batch)
+                batch = []
+        if batch:
+            yield from _flush(batch)
+
     def solve_many(
         self,
         ensembles: Iterable[Ensemble],
@@ -966,11 +1437,14 @@ class ServePool:
         chunksize: int | None = None,
         parallel: int | None = None,
         trace: "Tracer | None" = None,
+        cache=None,
+        incremental: bool = False,
     ) -> list[BatchResult]:
         """Ordered, :func:`repro.batch.solve_many`-compatible batch solve.
 
         ``parallel`` is rejected (:class:`~repro.errors.ServeError`), as in
-        :meth:`solve_stream`; ``trace=`` is threaded through as there.
+        :meth:`solve_stream`; ``trace=``, ``cache=`` and ``incremental=``
+        are threaded through as there.
         """
         return list(
             self.solve_stream(
@@ -984,6 +1458,8 @@ class ServePool:
                 chunksize=chunksize,
                 parallel=parallel,
                 trace=trace,
+                cache=cache,
+                incremental=incremental,
             )
         )
 
@@ -1013,7 +1489,8 @@ class _StreamState:
 
     __slots__ = (
         "index", "ensemble", "subs", "parts", "orders", "received", "result",
-        "witness_json", "cert_sub", "split",
+        "witness_json", "cert_sub", "split", "probe", "followers",
+        "coalesce_key", "canon_payload",
     )
 
     def __init__(
@@ -1022,14 +1499,22 @@ class _StreamState:
         ensemble: Ensemble,
         subs: list[Ensemble],
         split: str = "",
+        probe=None,
     ) -> None:
         self.index = index
         self.ensemble = ensemble
         self.subs = subs
         self.split = split
+        self.probe = probe
         self.parts = len(subs)
         self.orders: list[list | None] = [None] * self.parts
         self.received = 0
         self.result: BatchResult | None = None
         self.witness_json = None
         self.cert_sub: Ensemble | None = None
+        # Coalescing (cache misses only): duplicate requests that probed
+        # while this miss was in flight ride its solve instead of
+        # dispatching their own.
+        self.followers: list[tuple] = []
+        self.coalesce_key: tuple | None = None
+        self.canon_payload: tuple | None = None

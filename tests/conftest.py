@@ -11,8 +11,9 @@ from hypothesis import settings
 # Hypothesis profiles: the default keeps the tier-1 suite fast; "spqr-ci" is
 # the fixed-seed 500-example sweep the spqr-differential CI job selects via
 # HYPOTHESIS_PROFILE=spqr-ci, "certify-ci" the same for the certify-fuzz job,
-# and "parallel-ci" for the parallel-differential job (derandomize pins the
-# example sequence in all three).
+# "parallel-ci" for the parallel-differential job, and "incremental-ci" for
+# the incremental-differential delta-stream sweep (derandomize pins the
+# example sequence in all four).
 settings.register_profile("default", settings(deadline=None))
 settings.register_profile(
     "spqr-ci", settings(max_examples=500, deadline=None, derandomize=True)
@@ -22,6 +23,9 @@ settings.register_profile(
 )
 settings.register_profile(
     "parallel-ci", settings(max_examples=500, deadline=None, derandomize=True)
+)
+settings.register_profile(
+    "incremental-ci", settings(max_examples=500, deadline=None, derandomize=True)
 )
 settings.load_profile(os.getenv("HYPOTHESIS_PROFILE", "default"))
 

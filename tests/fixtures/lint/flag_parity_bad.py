@@ -7,3 +7,11 @@ def solve(instance, *, kernel="indexed", engine=None):
 
 def solve_batch(instances, *, kernel="indexed", engine=None):
     return [solve(item, kernel=kernel) for item in instances]  # LINT
+
+
+def solve_cached(instance, *, cache=None, incremental=False):
+    return (instance, cache, incremental)
+
+
+def solve_cached_batch(instances, *, cache=None, incremental=False):
+    return [solve_cached(item, cache=cache) for item in instances]  # LINT

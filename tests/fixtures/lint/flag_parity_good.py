@@ -18,3 +18,14 @@ def solve_positional(instance, *, kernel="indexed", engine=None):
     return solve(instance, kernel=kernel, engine=engine) if engine else solve(
         instance, kernel=kernel, engine=None
     )
+
+
+def solve_cached(instance, *, cache=None, incremental=False):
+    return (instance, cache, incremental)
+
+
+def solve_cached_batch(instances, *, cache=None, incremental=False):
+    return [
+        solve_cached(item, cache=cache, incremental=incremental)
+        for item in instances
+    ]

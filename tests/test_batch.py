@@ -314,6 +314,8 @@ class TestComponentCertification:
             "split_components": False,
             "parallel": None,
             "trace": None,
+            "cache": None,
+            "incremental": False,
         }
 
 

@@ -1,0 +1,193 @@
+"""Property fuzz for canonical forms and the canonical-form result cache.
+
+Three guarantees under test:
+
+* **relabeling invariance** — permuting atom labels and shuffling column
+  order never changes the canonical key, and exact canonicalizations land
+  on identical canonical masks (so isomorphic instances are literally
+  equal in canonical space);
+* **separation** — every Tucker corpus family (the five minimal non-C1P
+  obstructions, and their relabelings) has a different canonical form
+  from a same-shape C1P padding, so a cache can never answer a rejection
+  with an acceptance or vice versa;
+* **hit/miss byte identity** — a cache hit returns byte-identical
+  results (layout, certificate JSON, remapped witness embeddings) to
+  what the miss path computes for the same instance, because the miss
+  path solves the *canonical* instance and remaps exactly as a hit does.
+
+Runs under ``HYPOTHESIS_PROFILE=incremental-ci`` in the
+``incremental-differential`` CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from corpus_tucker import TUCKER_FAMILIES, tucker_ensemble
+from repro.certify.checker import check_ensemble
+from repro.ensemble import Ensemble
+from repro.incremental import ResultCache, cached_solve, canonical_form
+from repro.incremental.canon import canonical_ensemble
+# Differential-coverage binding for the canonicalization fast paths.
+import repro.incremental.cache  # noqa: F401
+import repro.incremental.canon  # noqa: F401
+
+
+@st.composite
+def ensembles(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    m = draw(st.integers(min_value=1, max_value=8))
+    columns = tuple(
+        frozenset(
+            draw(
+                st.frozensets(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=1,
+                )
+            )
+        )
+        for _ in range(m)
+    )
+    return Ensemble(tuple(range(n)), columns)
+
+
+def _relabeled(ensemble: Ensemble, seed: int) -> Ensemble:
+    rng = random.Random(seed)
+    perm = list(range(ensemble.num_atoms))
+    rng.shuffle(perm)
+    columns = [
+        frozenset(perm[a] for a in column) for column in ensemble.columns
+    ]
+    rng.shuffle(columns)
+    return Ensemble(tuple(range(ensemble.num_atoms)), tuple(columns))
+
+
+@given(ensembles(), st.integers(min_value=0, max_value=2**32 - 1))
+def test_relabeling_preserves_canonical_form(ensemble, seed):
+    twin = _relabeled(ensemble, seed)
+    form = canonical_form(ensemble)
+    twin_form = canonical_form(twin)
+    assert form.key == twin_form.key
+    if form.exact and twin_form.exact:
+        assert form.masks == twin_form.masks
+        assert canonical_ensemble(form) == canonical_ensemble(twin_form)
+
+
+@given(ensembles())
+def test_canonical_permutations_reproduce_the_instance(ensemble):
+    form = canonical_form(ensemble)
+    inverse_atoms = form.inverse_atom_perm()
+    inverse_cols = form.inverse_col_perm()
+    # Pushing the canonical masks back through the inverse permutations
+    # recovers the instance's own columns, position by position.
+    for canonical_pos, mask in enumerate(form.masks):
+        original = ensemble.columns[inverse_cols[canonical_pos]]
+        atoms = {
+            ensemble.atoms[inverse_atoms[i]]
+            for i in range(form.num_atoms)
+            if mask >> i & 1
+        }
+        assert atoms == set(original)
+
+
+def _c1p_padding(ensemble: Ensemble) -> Ensemble:
+    """A same-shape instance that is C1P by construction: consecutive
+    intervals of the same column sizes on the identity order."""
+    n = ensemble.num_atoms
+    columns = []
+    for index, column in enumerate(ensemble.columns):
+        size = len(column)
+        start = index % (n - size + 1)
+        columns.append(frozenset(range(start, start + size)))
+    return Ensemble(tuple(range(n)), tuple(columns))
+
+
+@pytest.mark.parametrize("family", sorted(TUCKER_FAMILIES))
+@pytest.mark.parametrize("k", [1, 2])
+def test_tucker_families_never_collide_with_c1p_paddings(family, k):
+    obstruction = tucker_ensemble(family, k)
+    padding = _c1p_padding(obstruction)
+    for seed in range(5):
+        twin = _relabeled(obstruction, seed)
+        form = canonical_form(twin)
+        padding_form = canonical_form(padding)
+        # Form-level separation: the bucket comparison the cache performs.
+        assert (form.num_atoms, form.masks) != (
+            padding_form.num_atoms,
+            padding_form.masks,
+        )
+        # End-to-end: sharing one cache never cross-contaminates the
+        # rejection with the padding's acceptance.
+        cache = ResultCache(8)
+        order, _ = cached_solve(cache, twin, certify=False)
+        assert order is None
+        order, _ = cached_solve(cache, padding, certify=False)
+        assert order is not None
+
+
+def test_cache_hit_is_byte_identical_to_miss(rng):
+    def render(order, certificate):
+        return json.dumps(
+            {
+                "order": order,
+                "certificate": (
+                    None if certificate is None else certificate.to_json()
+                ),
+            },
+            default=str,
+            sort_keys=True,
+        )
+
+    trials = 0
+    for trial in range(60):
+        n = rng.randint(2, 9)
+        m = rng.randint(1, 7)
+        circular = bool(trial % 2)
+        columns = tuple(
+            frozenset(rng.sample(range(n), rng.randint(1, n)))
+            for _ in range(m)
+        )
+        instance = Ensemble(tuple(range(n)), columns)
+        twin = _relabeled(instance, trial)
+        warm = ResultCache(32)
+        # Miss (fills the store), then the twin probes: a hit whenever
+        # canonicalization was exact.
+        cached_solve(warm, instance, circular=circular, certify=True)
+        hits_before = warm.metrics.counter("cache.hits").value
+        hit_order, hit_cert = cached_solve(
+            warm, twin, circular=circular, certify=True
+        )
+        if warm.metrics.counter("cache.hits").value == hits_before:
+            continue  # inexact canonicalization: a legal miss
+        trials += 1
+        cold = ResultCache(32)
+        miss_order, miss_cert = cached_solve(
+            cold, twin, circular=circular, certify=True
+        )
+        assert render(hit_order, hit_cert) == render(miss_order, miss_cert)
+        # The remapped answer is valid for the twin itself.
+        if hit_cert is not None:
+            assert check_ensemble(twin, hit_cert)
+    assert trials >= 40  # the sweep must exercise real hits
+
+
+def test_cache_eviction_and_counters():
+    cache = ResultCache(2)
+    instances = [
+        Ensemble((0, 1, 2), (frozenset({0}),)),
+        Ensemble((0, 1, 2), (frozenset({0}), frozenset({0, 1}))),
+        Ensemble((0, 1, 2), (frozenset({0, 1, 2}),)),
+    ]
+    # Three distinct canonical forms through a 2-entry cache: the first
+    # entry is evicted, and re-probing it misses again.
+    for instance in instances:
+        cached_solve(cache, instance)
+    assert len(cache) <= 2
+    assert cache.metrics.counter("cache.evictions").value >= 1
+    before = cache.metrics.counter("cache.hits").value
+    cached_solve(cache, instances[-1])
+    assert cache.metrics.counter("cache.hits").value == before + 1

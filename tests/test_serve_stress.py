@@ -365,3 +365,129 @@ class TestLifecycle:
                 except ProcessLookupError:
                     pass
             pool.close(wait=False, timeout=1.0)
+
+
+def _delta_script(seed: int, length: int = 24, n: int = 9) -> list[tuple]:
+    """A deterministic mixed add/remove delta stream over ``n`` atoms."""
+    rng = random.Random(seed)
+    deltas: list[tuple] = [("open", n)]
+    added: list[tuple[int, ...]] = []
+    for _ in range(length):
+        if added and rng.random() < 0.3:
+            deltas.append(("remove", rng.choice(added)))
+        else:
+            column = tuple(sorted(rng.sample(range(n), rng.randint(1, n - 2))))
+            deltas.append(("add", column))
+            added.append(column)
+    return deltas
+
+
+def _delta_summary(result) -> str:
+    payload = dict(result.summary())
+    if result.certificate is not None:
+        payload["certificate"] = result.certificate.to_json()
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+class TestDeltaSessionCrashRecovery:
+    def test_sigkill_mid_session_replays_with_zero_divergence(self):
+        # A worker killed between delta bundles takes the session's whole
+        # PQ-tree with it.  The next bundle must arrive with the acked
+        # frame log replayed ahead of it, and the full result sequence
+        # must match a crash-free pool byte for byte.
+        deltas = _delta_script(71)
+        with ServePool(1) as clean:
+            expected = [
+                _delta_summary(r)
+                for r in clean.solve_stream(
+                    deltas, incremental=True, certify=True, chunksize=2
+                )
+            ]
+        with ServePool(1) as pool:
+            got = []
+            stream = pool.solve_stream(
+                deltas, incremental=True, certify=True, chunksize=2
+            )
+            for i, result in enumerate(stream):
+                got.append(_delta_summary(result))
+                if i in (3, 11):  # two separate mid-session crashes
+                    os.kill(pool.worker_pids[0], signal.SIGKILL)
+                    deadline = time.monotonic() + 10
+                    while (
+                        pool.alive_workers < 1
+                        and time.monotonic() < deadline
+                    ):
+                        time.sleep(0.05)
+            assert got == expected
+            assert pool.respawn_count >= 2
+            replays = pool.metrics_snapshot()["serve.delta_replays"]["value"]
+            assert replays >= 2
+
+    def test_sigkill_mid_bundle_redispatches_with_replay_prefix(self):
+        # Kill the worker while a delta bundle is *in flight*: the reaper
+        # must rebuild the segment (replayed acked log + the unanswered
+        # frames) rather than re-shipping the original bundle to a worker
+        # that has never seen the session.
+        deltas = _delta_script(72, length=40)
+        with ServePool(1) as clean:
+            expected = [
+                _delta_summary(r)
+                for r in clean.solve_stream(
+                    deltas, incremental=True, certify=True, chunksize=4
+                )
+            ]
+        for attempt in range(10):  # racing the kill against the solves
+            with ServePool(1) as pool:
+                stop = threading.Event()
+
+                def killer():
+                    time.sleep(0.05)
+                    if not stop.is_set():
+                        try:
+                            os.kill(pool.worker_pids[0], signal.SIGKILL)
+                        except (ProcessLookupError, IndexError):
+                            pass
+
+                thread = threading.Thread(target=killer)
+                thread.start()
+                got = [
+                    _delta_summary(r)
+                    for r in pool.solve_stream(
+                        deltas, incremental=True, certify=True, chunksize=4
+                    )
+                ]
+                stop.set()
+                thread.join(10)
+                assert got == expected
+                if pool.respawn_count >= 1:
+                    return  # the kill landed and recovery still converged
+        pytest.fail("the kill never landed during an active session")
+
+    def test_oversize_delta_frame_rejected_without_stranding_a_slot(self):
+        # An ADD frame whose mask payload overflows the segment budget
+        # must be rejected before a backpressure slot is acquired; the
+        # session dies but the pool's full window stays usable.
+        big_n = 4096  # OPEN is header-only; the ADD mask is ~512 bytes
+        with ServePool(1, max_segment_bytes=256, max_inflight=1) as pool:
+            with pytest.raises(ServeError, match="segment budget"):
+                list(
+                    pool.solve_stream(
+                        [("open", big_n), ("add", tuple(range(big_n)))],
+                        incremental=True,
+                        chunksize=1,
+                    )
+                )
+            small = [
+                random_c1p_ensemble(6, 4, random.Random(80 + i)).ensemble
+                for i in range(4)
+            ]
+            expected = [_summary_bytes(r) for r in solve_many(small)]
+            for _ in range(3):
+                again = pool.solve_many(small)
+                assert [_summary_bytes(r) for r in again] == expected
+            assert pool.max_inflight_seen <= 1
+            # A fresh session on the same pool still works end to end.
+            fresh = list(
+                pool.solve_stream(_delta_script(73), incremental=True)
+            )
+            assert fresh and all(r.split == "delta" for r in fresh)
